@@ -1,0 +1,577 @@
+package repro_test
+
+// The root benchmark suite regenerates the paper's evaluation, one
+// benchmark family per table/figure (see DESIGN.md's experiment
+// index), plus ablation and substrate micro-benchmarks. Quality
+// numbers (precision/recall/bloat) are attached to each benchmark via
+// b.ReportMetric, so `go test -bench=.` prints both the cost and the
+// reproduced result shape.
+//
+// For the full formatted tables, run `go run ./cmd/kondo-bench -exp all`.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/carve"
+	"repro/internal/fuzz"
+	"repro/internal/ioevent"
+	"repro/internal/kondo"
+	"repro/internal/metrics"
+	"repro/internal/sdf"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchBudget is the per-campaign debloat-test budget used by the
+// comparison benchmarks (the §V-B max_iter is 2000; a tighter budget
+// keeps -bench runs fast while preserving the comparison shape).
+const benchBudget = 1500
+
+func truthOf(b *testing.B, p workload.Program) *array.IndexSet {
+	b.Helper()
+	gt, err := workload.GroundTruth(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gt
+}
+
+// --- Fig. 7: recall at a fixed budget, Kondo vs BF vs AFL ---
+
+func BenchmarkFig7Kondo(b *testing.B) {
+	for _, p := range workload.Micro(workload.Default2D) {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			gt := truthOf(b, p)
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				cfg := kondo.DefaultConfig()
+				cfg.Fuzz.Seed = int64(i + 1)
+				cfg.Fuzz.MaxEvals = benchBudget
+				res, err := kondo.Debloat(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall = metrics.Recall(gt, res.Approx)
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+func BenchmarkFig7BF(b *testing.B) {
+	for _, p := range workload.Micro(workload.Default2D) {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			gt := truthOf(b, p)
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				res, err := baseline.BruteForce(p, benchBudget, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall = metrics.Recall(gt, res.Indices)
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+func BenchmarkFig7AFL(b *testing.B) {
+	for _, p := range workload.Micro(workload.Default2D) {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			gt := truthOf(b, p)
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				cfg := baseline.DefaultAFLConfig()
+				cfg.MaxEvals = benchBudget
+				cfg.Seed = int64(i + 1)
+				res, err := baseline.AFL(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall = metrics.Recall(gt, res.Indices)
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+// --- Fig. 8: precision, Kondo vs SC (BF/AFL are 1 by construction) ---
+
+func BenchmarkFig8KondoPrecision(b *testing.B) {
+	for _, p := range workload.All() {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			gt := truthOf(b, p)
+			var prec float64
+			for i := 0; i < b.N; i++ {
+				cfg := kondo.DefaultConfig()
+				cfg.Fuzz.Seed = int64(i + 1)
+				cfg.Fuzz.MaxEvals = benchBudget
+				res, err := kondo.Debloat(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prec = metrics.Precision(gt, res.Approx)
+			}
+			b.ReportMetric(prec, "precision")
+		})
+	}
+}
+
+func BenchmarkFig8SCPrecision(b *testing.B) {
+	for _, p := range workload.Micro(workload.Default2D) {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			gt := truthOf(b, p)
+			var prec float64
+			for i := 0; i < b.N; i++ {
+				cfg := fuzz.DefaultConfig()
+				cfg.Seed = int64(i + 1)
+				cfg.MaxEvals = benchBudget
+				res, err := baseline.SimpleConvex(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prec = metrics.Precision(gt, res.Approx)
+			}
+			b.ReportMetric(prec, "precision")
+		})
+	}
+}
+
+// --- Fig. 9: bloat identified ---
+
+func BenchmarkFig9Bloat(b *testing.B) {
+	for _, p := range workload.All() {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			var bloat float64
+			for i := 0; i < b.N; i++ {
+				cfg := kondo.DefaultConfig()
+				cfg.Fuzz.Seed = int64(i + 1)
+				cfg.Fuzz.MaxEvals = benchBudget
+				res, err := kondo.Debloat(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bloat = metrics.BloatFraction(p.Space(), res.Approx)
+			}
+			b.ReportMetric(100*bloat, "%bloat")
+		})
+	}
+}
+
+// --- Fig. 10: budget for BF to reach Kondo's recall ---
+
+func BenchmarkFig10BFToKondoRecall(b *testing.B) {
+	for _, p := range workload.Micro(workload.Default2D) {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			gt := truthOf(b, p)
+			cfg := kondo.DefaultConfig()
+			cfg.Fuzz.Seed = 1
+			cfg.Fuzz.MaxEvals = benchBudget
+			res, err := kondo.Debloat(p, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			target := metrics.Recall(gt, res.Approx)
+			kondoTests := res.Fuzz.Evaluations
+			var ratio float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bf, err := baseline.BruteForceUntil(p, 128, func(r *baseline.Result) bool {
+					return metrics.Recall(gt, r.Indices) >= target
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = float64(bf.Evaluations) / float64(kondoTests)
+			}
+			b.ReportMetric(ratio, "bf-tests/kondo-tests")
+		})
+	}
+}
+
+// --- Table III: ARD and MSI ---
+
+func BenchmarkTableIII(b *testing.B) {
+	for _, p := range []workload.Program{workload.DefaultARD(), workload.DefaultMSI()} {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			gt := truthOf(b, p)
+			var recall, bloat float64
+			for i := 0; i < b.N; i++ {
+				cfg := kondo.DefaultConfig()
+				cfg.Fuzz.Seed = int64(i + 1)
+				cfg.Fuzz.MaxEvals = 4000
+				cfg.Fuzz.MaxIter = 8000
+				res, err := kondo.Debloat(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall = metrics.Recall(gt, res.Approx)
+				bloat = metrics.BloatFraction(p.Space(), res.Approx)
+			}
+			b.ReportMetric(recall, "recall")
+			b.ReportMetric(100*bloat, "%debloat")
+		})
+	}
+}
+
+// --- Fig. 11a: data-size sweep on CS3 ---
+
+func BenchmarkFig11aSize(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		n := n
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			p := workload.MustCS(3, n)
+			gt := truthOf(b, p)
+			var recall float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := kondo.DefaultConfig()
+				cfg.Fuzz.Seed = int64(i + 1)
+				cfg.Fuzz.MaxEvals = benchBudget
+				res, err := kondo.Debloat(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall = metrics.Recall(gt, res.Approx)
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+// --- Fig. 11b/c: center_d_thresh sweep ---
+
+func BenchmarkFig11bcThreshold(b *testing.B) {
+	p := workload.MustCS(2, workload.Default2D)
+	gt := truthOf(b, p)
+	for _, th := range []float64{5, 20, 80} {
+		th := th
+		b.Run(fmt.Sprintf("thresh=%g", th), func(b *testing.B) {
+			var prec, recall float64
+			for i := 0; i < b.N; i++ {
+				cfg := kondo.DefaultConfig()
+				cfg.Fuzz.Seed = int64(i + 1)
+				cfg.Fuzz.MaxEvals = benchBudget
+				cfg.Carve.CenterDistThresh = th
+				res, err := kondo.Debloat(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prec = metrics.Precision(gt, res.Approx)
+				recall = metrics.Recall(gt, res.Approx)
+			}
+			b.ReportMetric(prec, "precision")
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+// --- §V-D6: audit overhead ---
+
+func BenchmarkAuditOverhead(b *testing.B) {
+	dir := b.TempDir()
+	space := array.MustSpace(128, 128)
+	path := filepath.Join(dir, "data.sdf")
+	w := sdf.NewWriter(path)
+	dw, err := w.CreateDataset("data", space, array.LongDouble, []int{16, 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dw.Fill(func(ix array.Index) float64 { return 0 }); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	p := workload.MustPRL(128, 128)
+	v := []float64{100, 100}
+
+	b.Run("untraced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f, err := sdf.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds, _ := f.Dataset("data")
+			if err := p.Run(v, &workload.Env{Acc: workload.NewFileAccessor(ds)}); err != nil {
+				b.Fatal(err)
+			}
+			f.Close()
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			store := ioevent.NewStore()
+			tr := trace.NewTracer(store)
+			tf, err := tr.Open(tr.NewProcess(), path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := sdf.OpenFrom(tf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds, _ := f.Dataset("data")
+			if err := p.Run(v, &workload.Env{Acc: workload.NewFileAccessor(ds)}); err != nil {
+				b.Fatal(err)
+			}
+			f.Close()
+		}
+	})
+}
+
+// --- Ablation: boundary-based EE vs plain EE (Fig. 4's point) ---
+
+func BenchmarkAblationSchedule(b *testing.B) {
+	p := workload.MustCS(5, workload.Default2D)
+	gt := truthOf(b, p)
+	for _, boundary := range []bool{false, true} {
+		boundary := boundary
+		name := "plainEE"
+		if boundary {
+			name = "boundaryEE"
+		}
+		b.Run(name, func(b *testing.B) {
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				cfg := fuzz.DefaultConfig()
+				cfg.Seed = int64(i + 1)
+				cfg.MaxEvals = 800
+				cfg.Boundary = boundary
+				cfg.DecayIter = 50
+				cfg.Decay = 0.8
+				f, err := fuzz.ForProgram(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := f.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall = metrics.Recall(gt, res.Indices)
+			}
+			b.ReportMetric(recall, "raw-recall")
+		})
+	}
+}
+
+// --- Ablation: cell-merge carver vs single hull on merged precision ---
+
+func BenchmarkAblationCarver(b *testing.B) {
+	p := workload.MustLDC(workload.Default2D, workload.Default2D)
+	gt := truthOf(b, p)
+	cfg := fuzz.DefaultConfig()
+	cfg.Seed = 1
+	cfg.MaxEvals = benchBudget
+	f, err := fuzz.ForProgram(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs, err := f.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("bottomUpMerge", func(b *testing.B) {
+		var prec float64
+		for i := 0; i < b.N; i++ {
+			hulls, err := carve.Carve(obs.Indices, carve.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			approx, err := carve.Rasterize(hulls, p.Space())
+			if err != nil {
+				b.Fatal(err)
+			}
+			prec = metrics.Precision(gt, approx)
+		}
+		b.ReportMetric(prec, "precision")
+	})
+	b.Run("singleHull", func(b *testing.B) {
+		var prec float64
+		for i := 0; i < b.N; i++ {
+			h, err := carve.SimpleConvex(obs.Indices)
+			if err != nil {
+				b.Fatal(err)
+			}
+			approx, err := h.Rasterize(p.Space())
+			if err != nil {
+				b.Fatal(err)
+			}
+			prec = metrics.Precision(gt, approx)
+		}
+		b.ReportMetric(prec, "precision")
+	})
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkEventStore justifies the interval B-tree: merged inserts
+// against the tree stay cheap as the range count grows.
+func BenchmarkEventStore(b *testing.B) {
+	b.Run("sequentialMerging", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := ioevent.NewIntervalSet()
+			for off := int64(0); off < 10000; off += 10 {
+				s.Add(off, 10) // all merge into one range
+			}
+		}
+	})
+	b.Run("scatteredRanges", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := ioevent.NewIntervalSet()
+			for off := int64(0); off < 10000; off += 20 {
+				s.Add(off, 10) // 500 disjoint ranges
+			}
+		}
+	})
+	b.Run("lookup", func(b *testing.B) {
+		s := ioevent.NewIntervalSet()
+		for off := int64(0); off < 100000; off += 20 {
+			s.Add(off, 10)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Contains(int64(i*37) % 100000)
+		}
+	})
+}
+
+func BenchmarkOffsetResolution(b *testing.B) {
+	dir := b.TempDir()
+	space := array.MustSpace(256, 256)
+	path := filepath.Join(dir, "d.sdf")
+	w := sdf.NewWriter(path)
+	dw, err := w.CreateDataset("data", space, array.Float64, []int{16, 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dw.Fill(func(array.Index) float64 { return 0 }); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	f, err := sdf.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	ds, _ := f.Dataset("data")
+	offs := make([]int64, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		ix, _ := space.Unlinear(int64(i * 61 % int(space.Size())))
+		off, err := ds.FileOffset(ix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.ResolveOffset(offs[i%len(offs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHyperslabRead(b *testing.B) {
+	dir := b.TempDir()
+	space := array.MustSpace(256, 256)
+	path := filepath.Join(dir, "d.sdf")
+	w := sdf.NewWriter(path)
+	dw, err := w.CreateDataset("data", space, array.Float64, []int{32, 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dw.Fill(func(array.Index) float64 { return 1 }); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	f, err := sdf.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	ds, _ := f.Dataset("data")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.ReadHyperslab(sdf.Slab([]int{64, 64}, []int{64, 64})); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCarve(b *testing.B) {
+	p := workload.MustCS(2, workload.Default2D)
+	cfg := fuzz.DefaultConfig()
+	cfg.Seed = 1
+	cfg.MaxEvals = benchBudget
+	f, err := fuzz.ForProgram(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs, err := f.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := carve.Carve(obs.Indices, carve.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFuzzCampaign(b *testing.B) {
+	p := workload.MustCS(2, workload.Default2D)
+	for i := 0; i < b.N; i++ {
+		cfg := fuzz.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		cfg.MaxEvals = benchBudget
+		f, err := fuzz.ForProgram(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestMain keeps the benchmark binary from accidentally inheriting a
+// polluted working directory for relative paths.
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}
+
+// BenchmarkExperimentHarness runs the full quick experiment suite once
+// per iteration — a one-stop regeneration of every table and figure.
+func BenchmarkExperimentHarness(b *testing.B) {
+	for _, id := range bench.Experiments() {
+		id := id
+		b.Run(id, func(b *testing.B) {
+			opts := bench.QuickOptions()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Run(id, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

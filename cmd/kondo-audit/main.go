@@ -1,0 +1,220 @@
+// Command kondo-audit runs a benchmark program against a real data
+// file under the I/O event audit and prints what the audit observed:
+// event counts, merged byte ranges, and the resolved index subset.
+//
+//	kondo-audit -data mnist.sdf -program CS2 -params 1,1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/ioevent"
+	"repro/internal/prov"
+	"repro/internal/sdf"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "", "sdf data file")
+		dataset = flag.String("dataset", "data", "dataset name")
+		program = flag.String("program", "", "benchmark program name")
+		params  = flag.String("params", "", "comma-separated parameter values")
+		ranges  = flag.Bool("ranges", false, "print every merged byte range")
+		logPath = flag.String("log", "", "optional: write the event log to this path")
+		replay  = flag.String("replay", "", "replay an event log instead of running (still needs -data for offset resolution)")
+		dotPath = flag.String("dot", "", "optional: write the run's provenance graph (Graphviz DOT) to this path")
+	)
+	flag.Parse()
+	if *replay != "" {
+		if *data == "" {
+			fmt.Fprintln(os.Stderr, "usage: kondo-audit -replay <log> -data <file>")
+			os.Exit(2)
+		}
+		if err := runReplay(*replay, *data, *dataset, *ranges); err != nil {
+			fmt.Fprintln(os.Stderr, "kondo-audit:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *data == "" || *program == "" || *params == "" {
+		fmt.Fprintln(os.Stderr, "usage: kondo-audit -data <file> -program <name> -params v1,v2[,v3]")
+		os.Exit(2)
+	}
+	if err := run(*data, *dataset, *program, *params, *ranges, *logPath, *dotPath); err != nil {
+		fmt.Fprintln(os.Stderr, "kondo-audit:", err)
+		os.Exit(1)
+	}
+}
+
+// runReplay loads a recorded event log and resolves its ranges against
+// the data file's metadata — the decoupled analysis path the paper's
+// "data store" of system-call arguments enables.
+func runReplay(logPath, data, dataset string, printRanges bool) error {
+	lf, err := os.Open(logPath)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	store := ioevent.NewStore()
+	if err := ioevent.Replay(lf, store); err != nil {
+		return err
+	}
+
+	f, err := sdf.Open(data)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ds, err := f.Dataset(dataset)
+	if err != nil {
+		return err
+	}
+	fileName := filepath.Base(data)
+	merged := store.FileRanges(fileName)
+	indices, err := trace.ResolveIndices(ds, merged)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed:      %d events from %s\n", store.Events(), logPath)
+	var covered int64
+	for _, r := range merged {
+		covered += r.Len()
+	}
+	fmt.Printf("byte ranges:   %d merged ranges covering %d bytes\n", len(merged), covered)
+	fmt.Printf("index subset:  %d of %d indices\n", indices.Len(), ds.Space().Size())
+	if printRanges {
+		for _, r := range merged {
+			fmt.Printf("  [%d, %d)\n", r.Start, r.End)
+		}
+	}
+	return nil
+}
+
+func run(data, dataset, program, paramArg string, printRanges bool, logPath, dotPath string) error {
+	v, err := parseParams(paramArg)
+	if err != nil {
+		return err
+	}
+
+	// Open untraced once to size the program.
+	plain, err := sdf.Open(data)
+	if err != nil {
+		return err
+	}
+	ds, err := plain.Dataset(dataset)
+	if err != nil {
+		plain.Close()
+		return err
+	}
+	p, err := workload.ForSpace(program, ds.Space().Dims())
+	plain.Close()
+	if err != nil {
+		return err
+	}
+
+	// Audited run.
+	store := ioevent.NewStore()
+	tr := trace.NewTracer(store)
+	var logFile *os.File
+	var logWriter *ioevent.LogWriter
+	if logPath != "" {
+		logFile, err = os.Create(logPath)
+		if err != nil {
+			return err
+		}
+		defer logFile.Close()
+		logWriter = ioevent.NewLogWriter(logFile)
+		tr.TeeLog(logWriter)
+	}
+	tf, err := tr.Open(tr.NewProcess(), data)
+	if err != nil {
+		return err
+	}
+	af, err := sdf.OpenFrom(tf)
+	if err != nil {
+		tf.Close()
+		return err
+	}
+	ads, err := af.Dataset(dataset)
+	if err != nil {
+		af.Close()
+		return err
+	}
+	env := &workload.Env{Acc: workload.NewFileAccessor(ads)}
+	if err := p.Run(v, env); err != nil {
+		af.Close()
+		return err
+	}
+
+	fileName := filepath.Base(data)
+	merged := store.FileRanges(fileName)
+	indices, err := trace.AccessedIndices(store, fileName, ads)
+	if err != nil {
+		af.Close()
+		return err
+	}
+	af.Close()
+
+	fmt.Printf("program:       %s, parameters %v\n", p.Name(), v)
+	fmt.Printf("events:        %d system-call events\n", store.Events())
+	if w := store.Writes(); len(w) > 0 {
+		fmt.Printf("WARNING:       %d write events (data array is not read-only!)\n", len(w))
+	}
+	var covered int64
+	for _, r := range merged {
+		covered += r.Len()
+	}
+	fmt.Printf("byte ranges:   %d merged ranges covering %d bytes\n", len(merged), covered)
+	fmt.Printf("index subset:  %d of %d indices (I_v)\n", indices.Len(), ads.Space().Size())
+	if printRanges {
+		for _, r := range merged {
+			fmt.Printf("  [%d, %d)\n", r.Start, r.End)
+		}
+	}
+	if logWriter != nil {
+		if err := logWriter.Flush(); err != nil {
+			return err
+		}
+		info, err := logFile.Stat()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("event log:     %s (%d bytes)\n", logPath, info.Size())
+	}
+	if dotPath != "" {
+		g := prov.FromStore(store)
+		df, err := os.Create(dotPath)
+		if err != nil {
+			return err
+		}
+		if err := g.DOT(df); err != nil {
+			df.Close()
+			return err
+		}
+		if err := df.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("provenance:    %s (%d vertices)\n", dotPath, len(g.Vertices()))
+	}
+	return nil
+}
+
+func parseParams(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid parameter %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseParams(t *testing.T) {
+	got, err := parseParams("1, 2.5 ,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseParams = %v, want %v", got, want)
+		}
+	}
+	if _, err := parseParams("1,x"); err == nil {
+		t.Error("bad parameter should error")
+	}
+	if _, err := parseParams(""); err == nil {
+		t.Error("empty parameters should error")
+	}
+}

@@ -1,0 +1,80 @@
+// Command kondo-bench regenerates the tables and figures of the
+// paper's evaluation (§V).
+//
+//	kondo-bench -exp fig7            # one experiment
+//	kondo-bench -exp all             # every experiment
+//	kondo-bench -exp fig8 -quick     # reduced sizes/repetitions
+//	kondo-bench -list                # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id, or \"all\"")
+		list   = flag.Bool("list", false, "list available experiments")
+		quick  = flag.Bool("quick", false, "reduced sizes and repetitions")
+		runs   = flag.Int("runs", 0, "override repetition count for Kondo/BF")
+		budget = flag.Int("budget", 0, "override debloat-test budget")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		csvDir = flag.String("csv", "", "also write each report as <dir>/<exp>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Experiments(), "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: kondo-bench -exp <id>|all [-quick]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	opts := bench.DefaultOptions()
+	if *quick {
+		opts = bench.QuickOptions()
+	}
+	opts.Seed = *seed
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *budget > 0 {
+		opts.EvalBudget = *budget
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := bench.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kondo-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "kondo-bench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "kondo-bench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

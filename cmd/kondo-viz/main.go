@@ -1,0 +1,122 @@
+// Command kondo-viz regenerates the paper's visual figures as SVG
+// files:
+//
+//	kondo-viz -out ./figures
+//
+// It renders, for each benchmark program, the ground-truth region
+// (Fig. 1 / Table I), and for the cross-stencil base program the
+// exploit-explore vs boundary-based EE scatter (Fig. 4) and the
+// observed-points-plus-hulls view of the carver (Fig. 6-style).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/carve"
+	"repro/internal/fuzz"
+	"repro/internal/viz"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "figures", "output directory")
+		size   = flag.Int("size", 128, "2D array extent")
+		budget = flag.Int("budget", 1500, "fuzz budget for the scatter/hull figures")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*out, *size, *budget, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "kondo-viz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, size, budget int, seed int64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	// Ground-truth maps of the 2D programs (Fig. 1 / Table I).
+	for _, p := range []workload.Program{
+		workload.MustCS(2, size), workload.MustCS(1, size), workload.MustCS(3, size),
+		workload.MustCS(5, size), workload.MustPRL(size, size),
+		workload.MustLDC(size, size), workload.MustRDC(size, size),
+	} {
+		gt, err := workload.GroundTruth(p)
+		if err != nil {
+			return err
+		}
+		if err := writeSVG(filepath.Join(out, "truth-"+p.Name()+".svg"), func(f *os.File) error {
+			return viz.IndexSetSVG(f, gt, p.Name()+" ground truth I_Θ")
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Fig. 4: schedule scatter, plain EE vs boundary-based EE.
+	p := workload.MustCS(2, size)
+	for _, boundary := range []bool{false, true} {
+		cfg := fuzz.DefaultConfig()
+		cfg.Seed = seed
+		cfg.MaxEvals = budget
+		cfg.MaxIter = 4 * budget
+		cfg.StopIter = 0
+		cfg.Boundary = boundary
+		if boundary {
+			cfg.DecayIter = 50
+			cfg.Decay = 0.8
+		}
+		f, err := fuzz.ForProgram(p, cfg)
+		if err != nil {
+			return err
+		}
+		res, err := f.Run()
+		if err != nil {
+			return err
+		}
+		name := "fig4-exploit-explore.svg"
+		title := "exploit-explore schedule"
+		if boundary {
+			name = "fig4-boundary-ee.svg"
+			title = "boundary-based EE schedule"
+		}
+		ps := p.Params()
+		if err := writeSVG(filepath.Join(out, name), func(file *os.File) error {
+			return viz.ScatterSVG(file, res.Seeds,
+				float64(ps[0].Lo), float64(ps[0].Hi), float64(ps[1].Lo), float64(ps[1].Hi), title)
+		}); err != nil {
+			return err
+		}
+
+		// Fig. 6-style: observations + carved hulls (boundary run).
+		if boundary {
+			hulls, err := carve.Carve(res.Indices, carve.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			if err := writeSVG(filepath.Join(out, "fig6-hulls.svg"), func(file *os.File) error {
+				return viz.HullsSVG(file, res.Indices, hulls, "observed indices and carved hulls")
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("wrote figures to %s\n", out)
+	return nil
+}
+
+func writeSVG(path string, render func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,255 @@
+// Command kondo runs the Kondo data-debloating pipeline.
+//
+// Two modes:
+//
+//	kondo -program CS2 [-budget 2000] [-seed 1] [-data in.sdf -dataset data -out debloated.sdf]
+//	    Debloat a benchmark program. With -data/-out, also materialize
+//	    the debloated data file.
+//
+//	kondo -spec container.spec -src ./payload -image ./image -debloated ./image-debloated
+//	    Parse a container specification, build the image, debloat its
+//	    data file for the advertised PARAM space, and rebuild the
+//	    image with the carved file. Prints the size reduction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/sdf"
+	"repro/internal/workload"
+	"repro/kondo"
+)
+
+func main() {
+	var (
+		program  = flag.String("program", "", "benchmark program name (CS1..CS5, PRL2D/3D, LDC2D/3D, RDC2D/3D, ARD, MSI)")
+		budget   = flag.Int("budget", 2000, "debloat-test budget (number of audited executions)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		data     = flag.String("data", "", "optional: sdf data file to debloat")
+		dataset  = flag.String("dataset", "data", "dataset name within the data file")
+		out      = flag.String("out", "", "optional: path of the debloated data file")
+		chunkArg = flag.String("chunk", "16", "debloating chunk extent per dimension (single value or AxBxC)")
+		gran     = flag.String("granularity", "chunk", "debloating granularity: chunk or element")
+		manifest = flag.String("manifest", "", "optional: path to write the debloat manifest (JSON)")
+
+		spec      = flag.String("spec", "", "container specification file (container mode)")
+		src       = flag.String("src", ".", "source directory for ADD entries (container mode)")
+		image     = flag.String("image", "", "directory to build the image into (container mode)")
+		debloated = flag.String("debloated", "", "directory to build the debloated image into (container mode)")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *spec != "":
+		err = containerMode(*spec, *src, *image, *debloated, *dataset, *budget, *seed, *chunkArg)
+	case *program != "":
+		err = programMode(*program, *data, *dataset, *out, *budget, *seed, *chunkArg, *gran, *manifest)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: kondo -program <name> | kondo -spec <file>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kondo:", err)
+		os.Exit(1)
+	}
+}
+
+func programMode(name, data, dataset, out string, budget int, seed int64, chunkArg, gran, manifestPath string) error {
+	p, err := resolveProgram(name, data, dataset)
+	if err != nil {
+		return err
+	}
+	cfg := kondo.DefaultConfig()
+	cfg.Fuzz.Seed = seed
+	cfg.Fuzz.MaxEvals = budget
+	res, err := kondo.Debloat(p, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program:     %s (%s)\n", p.Name(), p.Description())
+	fmt.Printf("array:       %s, |Θ| = %d\n", p.Space(), p.Params().Valuations())
+	fmt.Printf("tests run:   %d (useful %d, non-useful %d)\n",
+		res.Fuzz.Evaluations, res.Fuzz.Useful, res.Fuzz.NonUseful)
+	fmt.Printf("hulls:       %d\n", len(res.Hulls))
+	fmt.Printf("subset:      %d of %d indices (%.2f%% bloat identified)\n",
+		res.Approx.Len(), p.Space().Size(),
+		100*kondo.BloatFraction(p.Space(), res.Approx))
+	fmt.Printf("time:        fuzz %v, carve %v\n", res.FuzzTime, res.CarveTime)
+
+	truth, err := kondo.GroundTruth(p)
+	if err != nil {
+		return fmt.Errorf("computing ground truth: %w", err)
+	}
+	pr := kondo.Evaluate(truth, res.Approx)
+	fmt.Printf("quality:     precision %.3f, recall %.3f\n", pr.Precision, pr.Recall)
+
+	if data != "" && out != "" {
+		var stats kondo.DebloatStats
+		var chunk []int
+		switch gran {
+		case "chunk":
+			chunk, err = parseChunk(chunkArg, p.Space().Rank())
+			if err != nil {
+				return err
+			}
+			stats, err = kondo.WriteSubset(data, out, dataset, res.Approx, chunk)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("debloated:   %s (%d -> %d bytes, %.2f%% reduction, %d/%d chunks kept)\n",
+				out, stats.OriginalBytes, stats.DebloatedBytes,
+				100*stats.Reduction(), stats.KeptChunks, stats.TotalChunks)
+		case "element":
+			stats, err = kondo.WritePacked(data, out, dataset, res.Approx)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("debloated:   %s (%d -> %d bytes, %.2f%% reduction, element-granular)\n",
+				out, stats.OriginalBytes, stats.DebloatedBytes, 100*stats.Reduction())
+		default:
+			return fmt.Errorf("unknown granularity %q (chunk, element)", gran)
+		}
+		if manifestPath != "" {
+			m := kondo.NewManifest(p.Name(), dataset, p.Space().Dims(), gran, chunk, res, stats)
+			if err := m.Save(manifestPath); err != nil {
+				return err
+			}
+			fmt.Printf("manifest:    %s (%d hulls)\n", manifestPath, len(m.Hulls))
+		}
+	}
+	return nil
+}
+
+// resolveProgram picks the program, sized to the data file when one is
+// given.
+func resolveProgram(name, data, dataset string) (kondo.Program, error) {
+	if data == "" {
+		return kondo.ProgramByName(name)
+	}
+	f, err := sdf.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := f.Dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	return kondo.ProgramForSpace(name, ds.Space().Dims())
+}
+
+func containerMode(specPath, src, imageDir, debloatedDir, dataset string, budget int, seed int64, chunkArg string) error {
+	if imageDir == "" || debloatedDir == "" {
+		return fmt.Errorf("container mode needs -image and -debloated directories")
+	}
+	sf, err := os.Open(specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := kondo.ParseSpec(sf)
+	sf.Close()
+	if err != nil {
+		return err
+	}
+	img, err := kondo.BuildImage(spec, src, imageDir)
+	if err != nil {
+		return err
+	}
+	origSize, err := img.Size()
+	if err != nil {
+		return err
+	}
+	dataPath, err := spec.DataFile()
+	if err != nil {
+		return err
+	}
+	hostData, err := img.HostPath(dataPath)
+	if err != nil {
+		return err
+	}
+	f, err := sdf.Open(hostData)
+	if err != nil {
+		return err
+	}
+	ds, err := f.Dataset(dataset)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	dims := ds.Space().Dims()
+	f.Close()
+
+	p, err := workload.ForSpace(spec.Entrypoint, dims)
+	if err != nil {
+		return err
+	}
+	// The PARAM line narrows the supported parameter space; the
+	// debloated subset follows the advertised Θ, not the program's
+	// maximal one (paper §I-A).
+	if len(spec.Params) > 0 {
+		p, err = workload.WithParams(p, spec.Params)
+		if err != nil {
+			return err
+		}
+	}
+	cfg := kondo.DefaultConfig()
+	cfg.Fuzz.Seed = seed
+	cfg.Fuzz.MaxEvals = budget
+	res, err := kondo.Debloat(p, cfg)
+	if err != nil {
+		return err
+	}
+	chunk, err := parseChunk(chunkArg, len(dims))
+	if err != nil {
+		return err
+	}
+	deb, stats, err := img.DebloatData(debloatedDir, dataPath, dataset, res.Approx, chunk)
+	if err != nil {
+		return err
+	}
+	debSize, err := deb.Size()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("entrypoint:      %s over %v\n", spec.Entrypoint, dims)
+	fmt.Printf("parameter space: |Θ| = %d\n", spec.Params.Valuations())
+	fmt.Printf("tests run:       %d\n", res.Fuzz.Evaluations)
+	fmt.Printf("data file:       %d -> %d bytes (%.2f%% reduction)\n",
+		stats.OriginalBytes, stats.DebloatedBytes, 100*stats.Reduction())
+	fmt.Printf("image:           %d -> %d bytes (%.2f%% reduction)\n",
+		origSize, debSize, 100*(1-float64(debSize)/float64(origSize)))
+	fmt.Printf("debloated image: %s\n", filepath.Clean(debloatedDir))
+	return nil
+}
+
+// parseChunk parses "16" or "8x8x4" into per-dimension chunk extents.
+func parseChunk(arg string, rank int) ([]int, error) {
+	parts := strings.Split(arg, "x")
+	if len(parts) == 1 {
+		var v int
+		if _, err := fmt.Sscanf(parts[0], "%d", &v); err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid chunk %q", arg)
+		}
+		chunk := make([]int, rank)
+		for k := range chunk {
+			chunk[k] = v
+		}
+		return chunk, nil
+	}
+	if len(parts) != rank {
+		return nil, fmt.Errorf("chunk %q has %d extents, array rank is %d", arg, len(parts), rank)
+	}
+	chunk := make([]int, rank)
+	for k, s := range parts {
+		if _, err := fmt.Sscanf(s, "%d", &chunk[k]); err != nil || chunk[k] <= 0 {
+			return nil, fmt.Errorf("invalid chunk extent %q", s)
+		}
+	}
+	return chunk, nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseChunk(t *testing.T) {
+	cases := []struct {
+		arg  string
+		rank int
+		want []int
+		ok   bool
+	}{
+		{"16", 2, []int{16, 16}, true},
+		{"16", 3, []int{16, 16, 16}, true},
+		{"8x4", 2, []int{8, 4}, true},
+		{"8x4x2", 3, []int{8, 4, 2}, true},
+		{"8x4", 3, nil, false},  // rank mismatch
+		{"0", 2, nil, false},    // non-positive
+		{"axb", 2, nil, false},  // not a number
+		{"8x-1", 2, nil, false}, // negative extent
+		{"", 2, nil, false},     // empty
+	}
+	for _, c := range cases {
+		got, err := parseChunk(c.arg, c.rank)
+		if (err == nil) != c.ok {
+			t.Errorf("parseChunk(%q, %d) err = %v, want ok=%v", c.arg, c.rank, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseChunk(%q) = %v, want %v", c.arg, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseChunk(%q) = %v, want %v", c.arg, got, c.want)
+				break
+			}
+		}
+	}
+}

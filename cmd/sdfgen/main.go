@@ -1,0 +1,117 @@
+// Command sdfgen generates self-describing data files for the
+// benchmark programs.
+//
+//	sdfgen -out mnist.sdf -dims 128x128 -dtype longdouble -chunk 16x16
+//	sdfgen -out cube.sdf -dims 64x64x64 -dtype float64 -fill linear
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/array"
+	"repro/internal/sdf"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "", "output file path")
+		dims    = flag.String("dims", "128x128", "array extents, e.g. 128x128 or 64x64x64")
+		dtype   = flag.String("dtype", "longdouble", "element type: float32, float64, int32, int64, longdouble")
+		chunk   = flag.String("chunk", "", "chunk extents (empty = contiguous), e.g. 16x16")
+		dataset = flag.String("dataset", "data", "dataset name")
+		fill    = flag.String("fill", "linear", "fill pattern: linear, zero, sine")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: sdfgen -out <path> [-dims 128x128] [-dtype longdouble] [-chunk 16x16]")
+		os.Exit(2)
+	}
+	if err := run(*out, *dims, *dtype, *chunk, *dataset, *fill); err != nil {
+		fmt.Fprintln(os.Stderr, "sdfgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, dimsArg, dtypeArg, chunkArg, dataset, fill string) error {
+	extents, err := parseDims(dimsArg)
+	if err != nil {
+		return err
+	}
+	space, err := array.NewSpace(extents...)
+	if err != nil {
+		return err
+	}
+	dt, err := array.ParseDType(dtypeArg)
+	if err != nil {
+		return err
+	}
+	var chunkDims []int
+	if chunkArg != "" {
+		chunkDims, err = parseDims(chunkArg)
+		if err != nil {
+			return err
+		}
+	}
+	fillFn, err := fillFunc(fill, space)
+	if err != nil {
+		return err
+	}
+
+	w := sdf.NewWriter(out)
+	dw, err := w.CreateDataset(dataset, space, dt, chunkDims)
+	if err != nil {
+		return err
+	}
+	if err := dw.Fill(fillFn); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: dataset %q, %s %s, %d bytes\n", out, dataset, space, dt, info.Size())
+	return nil
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid extent %q in %q", p, s)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func fillFunc(kind string, space array.Space) (func(array.Index) float64, error) {
+	switch kind {
+	case "linear":
+		return func(ix array.Index) float64 {
+			lin, _ := space.Linear(ix)
+			return float64(lin)
+		}, nil
+	case "zero":
+		return func(array.Index) float64 { return 0 }, nil
+	case "sine":
+		return func(ix array.Index) float64 {
+			var s float64
+			for _, v := range ix {
+				s += math.Sin(float64(v) / 8)
+			}
+			return s
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown fill %q (linear, zero, sine)", kind)
+	}
+}

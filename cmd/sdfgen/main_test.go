@@ -1,0 +1,66 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/sdf"
+)
+
+func TestParseDims(t *testing.T) {
+	got, err := parseDims("128x64")
+	if err != nil || len(got) != 2 || got[0] != 128 || got[1] != 64 {
+		t.Fatalf("parseDims = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0x4", "-1x2", "ax4", "4x"} {
+		if _, err := parseDims(bad); err == nil {
+			t.Errorf("parseDims(%q) should error", bad)
+		}
+	}
+}
+
+func TestFillFuncs(t *testing.T) {
+	space := array.MustSpace(4, 4)
+	for _, kind := range []string{"linear", "zero", "sine"} {
+		fn, err := fillFunc(kind, space)
+		if err != nil || fn == nil {
+			t.Fatalf("fillFunc(%q): %v", kind, err)
+		}
+		fn(array.NewIndex(1, 2)) // must not panic
+	}
+	if _, err := fillFunc("bogus", space); err == nil {
+		t.Error("unknown fill should error")
+	}
+	lin, _ := fillFunc("linear", space)
+	if v := lin(array.NewIndex(1, 1)); v != 5 {
+		t.Errorf("linear fill (1,1) = %v, want 5", v)
+	}
+}
+
+func TestRunGeneratesReadableFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gen.sdf")
+	if err := run(path, "8x8", "float64", "4x4", "data", "linear"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := sdf.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := f.Dataset("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ds.ReadElement(array.NewIndex(1, 1))
+	if err != nil || v != 9 {
+		t.Errorf("generated value = %v, %v", v, err)
+	}
+	// Bad inputs error out.
+	if err := run(path, "0x8", "float64", "", "data", "linear"); err == nil {
+		t.Error("bad dims should error")
+	}
+	if err := run(path, "8x8", "quux", "", "data", "linear"); err == nil {
+		t.Error("bad dtype should error")
+	}
+}

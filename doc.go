@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Kondo: Efficient
+// Provenance-Driven Data Debloating" (Modi, Tikmany, Malik, Komondoor,
+// Gehani, D'Souza; ICDE 2024).
+//
+// The public API lives in package repro/kondo; the implementation in
+// internal/ (see DESIGN.md for the system inventory). The root-level
+// benchmarks in bench_test.go regenerate the paper's tables and
+// figures; run them with:
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,59 @@
+// MSI: the Mass Spectrometry Imaging workload of paper Table III.
+//
+// Run with:
+//
+//	go run ./examples/msi
+//
+// Each MSI run reads the spectral line of one (x, y) pixel from a
+// parameterized start index to a fixed end. The union over Θ keeps
+// only ~4% of the spectral axis, so debloating removes ~96% of the
+// file. Brute force at the same budget barely leaves the first pixel
+// column; Kondo covers the whole reachable band.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baseline"
+	"repro/kondo"
+)
+
+func main() {
+	p, err := kondo.ProgramByName("MSI")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application: %s — %s\n", p.Name(), p.Description())
+	fmt.Printf("array: %s (%d cells), |Θ| = %d\n\n",
+		p.Space(), p.Space().Size(), p.Params().Valuations())
+
+	const budget = 4000
+
+	cfg := kondo.DefaultConfig()
+	cfg.Fuzz.Seed = 1
+	cfg.Fuzz.MaxEvals = budget
+	cfg.Fuzz.MaxIter = 2 * budget
+	res, err := kondo.Debloat(p, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := kondo.GroundTruth(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr := kondo.Evaluate(truth, res.Approx)
+	fmt.Printf("Kondo  (%4d tests): precision %.3f, recall %.3f, debloat %.2f%%\n",
+		res.Fuzz.Evaluations, pr.Precision, pr.Recall,
+		100*kondo.BloatFraction(p.Space(), res.Approx))
+
+	bf, err := baseline.BruteForce(p, budget, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bfPR := kondo.Evaluate(truth, bf.Indices)
+	fmt.Printf("BF     (%4d tests): precision %.3f, recall %.3f\n",
+		bf.Evaluations, bfPR.Precision, bfPR.Recall)
+
+	fmt.Println("\npaper Table III shape: Kondo 1 & 1 with ~96.2% debloat; BF recall 0.78")
+}

@@ -1,0 +1,78 @@
+package array
+
+import "fmt"
+
+// DType identifies the element type stored in a data array. The paper
+// assumes 16-byte long-double elements (§V-B); scientific formats also
+// commonly carry 4- and 8-byte floats and integers, so the format
+// layer supports all of these.
+type DType uint8
+
+// Supported element types.
+const (
+	Float32 DType = iota + 1
+	Float64
+	Int32
+	Int64
+	// LongDouble is a 16-byte extended-precision float. Go has no
+	// native 128-bit float, so values are stored as a float64 payload
+	// in the low 8 bytes with zero padding — the byte *size* (what
+	// offset mapping depends on) matches the paper exactly.
+	LongDouble
+)
+
+// Size returns the on-disk size of one element in bytes.
+func (d DType) Size() int {
+	switch d {
+	case Float32, Int32:
+		return 4
+	case Float64, Int64:
+		return 8
+	case LongDouble:
+		return 16
+	default:
+		panic(fmt.Sprintf("array: unknown dtype %d", d))
+	}
+}
+
+// Valid reports whether d is one of the supported element types.
+func (d DType) Valid() bool {
+	return d >= Float32 && d <= LongDouble
+}
+
+// String returns the conventional name of the element type.
+func (d DType) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case LongDouble:
+		return "longdouble"
+	default:
+		return fmt.Sprintf("dtype(%d)", uint8(d))
+	}
+}
+
+// ParseDType maps a type name back to its DType, the inverse of
+// String for valid types.
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "float32":
+		return Float32, nil
+	case "float64":
+		return Float64, nil
+	case "int32":
+		return Int32, nil
+	case "int64":
+		return Int64, nil
+	case "longdouble":
+		return LongDouble, nil
+	default:
+		return 0, fmt.Errorf("array: unknown dtype %q", s)
+	}
+}

@@ -1,0 +1,148 @@
+package array
+
+// IndexSet is a set of indices within one Space. It is the
+// representation of the paper's index subsets: I_v (accesses of one
+// run), IS = ∪ I_v (accumulated fuzz observations), I_Θ (ground
+// truth), and I'_Θ (the carved approximation). Indices are stored by
+// their row-major linear position, which makes membership and set
+// algebra O(1) per element.
+//
+// IndexSet is not safe for concurrent mutation.
+type IndexSet struct {
+	space Space
+	m     map[int64]struct{}
+}
+
+// NewIndexSet returns an empty set over the given space.
+func NewIndexSet(space Space) *IndexSet {
+	return &IndexSet{space: space, m: make(map[int64]struct{})}
+}
+
+// Space returns the index space the set ranges over.
+func (s *IndexSet) Space() Space { return s.space }
+
+// Add inserts ix into the set. It reports whether the index was newly
+// added (false if already present) and returns an error for indices
+// outside the space.
+func (s *IndexSet) Add(ix Index) (bool, error) {
+	lin, err := s.space.Linear(ix)
+	if err != nil {
+		return false, err
+	}
+	if _, ok := s.m[lin]; ok {
+		return false, nil
+	}
+	s.m[lin] = struct{}{}
+	return true, nil
+}
+
+// AddLinear inserts a row-major linear position directly. Callers that
+// already hold linear positions (e.g. the audit offset resolver) avoid
+// the tuple round-trip.
+func (s *IndexSet) AddLinear(lin int64) bool {
+	if lin < 0 || lin >= s.space.Size() {
+		return false
+	}
+	if _, ok := s.m[lin]; ok {
+		return false
+	}
+	s.m[lin] = struct{}{}
+	return true
+}
+
+// Contains reports whether ix is in the set. Indices outside the space
+// are never contained.
+func (s *IndexSet) Contains(ix Index) bool {
+	lin, err := s.space.Linear(ix)
+	if err != nil {
+		return false
+	}
+	_, ok := s.m[lin]
+	return ok
+}
+
+// ContainsLinear reports whether the linear position is in the set.
+func (s *IndexSet) ContainsLinear(lin int64) bool {
+	_, ok := s.m[lin]
+	return ok
+}
+
+// Len returns the number of indices in the set.
+func (s *IndexSet) Len() int { return len(s.m) }
+
+// Empty reports whether the set has no elements. A fuzz seed whose
+// debloat test yields an empty set is a "not useful" parameter value
+// (paper §IV).
+func (s *IndexSet) Empty() bool { return len(s.m) == 0 }
+
+// UnionWith adds every element of o into s. The two sets must range
+// over the same space.
+func (s *IndexSet) UnionWith(o *IndexSet) {
+	for lin := range o.m {
+		s.m[lin] = struct{}{}
+	}
+}
+
+// IntersectLen returns |s ∩ o| without materializing the
+// intersection. Precision and recall only need this cardinality.
+func (s *IndexSet) IntersectLen(o *IndexSet) int {
+	small, big := s, o
+	if big.Len() < small.Len() {
+		small, big = big, small
+	}
+	n := 0
+	for lin := range small.m {
+		if _, ok := big.m[lin]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Each calls fn for every index in the set, in unspecified order,
+// stopping early if fn returns false. The Index passed to fn is fresh
+// per call and may be retained.
+func (s *IndexSet) Each(fn func(Index) bool) {
+	for lin := range s.m {
+		ix, err := s.space.Unlinear(lin)
+		if err != nil {
+			continue // unreachable by construction
+		}
+		if !fn(ix) {
+			return
+		}
+	}
+}
+
+// EachLinear calls fn for every linear position in the set, stopping
+// early if fn returns false.
+func (s *IndexSet) EachLinear(fn func(int64) bool) {
+	for lin := range s.m {
+		if !fn(lin) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the set.
+func (s *IndexSet) Clone() *IndexSet {
+	c := NewIndexSet(s.space)
+	for lin := range s.m {
+		c.m[lin] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports whether two sets over the same space hold exactly the
+// same indices.
+func (s *IndexSet) Equal(o *IndexSet) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for lin := range s.m {
+		if _, ok := o.m[lin]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package array
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexSetBasics(t *testing.T) {
+	s := NewIndexSet(MustSpace(10, 10))
+	if !s.Empty() || s.Len() != 0 {
+		t.Error("new set should be empty")
+	}
+	added, err := s.Add(NewIndex(3, 4))
+	if err != nil || !added {
+		t.Fatalf("Add = %v, %v", added, err)
+	}
+	added, err = s.Add(NewIndex(3, 4))
+	if err != nil || added {
+		t.Error("duplicate Add should report false")
+	}
+	if !s.Contains(NewIndex(3, 4)) || s.Contains(NewIndex(4, 3)) {
+		t.Error("Contains wrong")
+	}
+	if s.Len() != 1 || s.Empty() {
+		t.Error("Len/Empty wrong after insert")
+	}
+	if _, err := s.Add(NewIndex(10, 0)); err == nil {
+		t.Error("out-of-space Add should error")
+	}
+	if s.Contains(NewIndex(99, 99)) {
+		t.Error("out-of-space index should not be contained")
+	}
+}
+
+func TestIndexSetAddLinear(t *testing.T) {
+	s := NewIndexSet(MustSpace(4, 4))
+	if !s.AddLinear(5) {
+		t.Error("AddLinear(5) should succeed")
+	}
+	if s.AddLinear(5) {
+		t.Error("duplicate AddLinear should report false")
+	}
+	if s.AddLinear(16) || s.AddLinear(-1) {
+		t.Error("out-of-range AddLinear should report false")
+	}
+	if !s.Contains(NewIndex(1, 1)) {
+		t.Error("linear 5 should be index (1,1)")
+	}
+	if !s.ContainsLinear(5) || s.ContainsLinear(6) {
+		t.Error("ContainsLinear wrong")
+	}
+}
+
+func TestIndexSetUnionIntersect(t *testing.T) {
+	sp := MustSpace(10, 10)
+	a := NewIndexSet(sp)
+	b := NewIndexSet(sp)
+	for i := 0; i < 5; i++ {
+		a.AddLinear(int64(i))
+	}
+	for i := 3; i < 8; i++ {
+		b.AddLinear(int64(i))
+	}
+	if n := a.IntersectLen(b); n != 2 {
+		t.Errorf("IntersectLen = %d, want 2", n)
+	}
+	if n := b.IntersectLen(a); n != 2 {
+		t.Errorf("IntersectLen not symmetric: %d", n)
+	}
+	a.UnionWith(b)
+	if a.Len() != 8 {
+		t.Errorf("union Len = %d, want 8", a.Len())
+	}
+}
+
+func TestIndexSetCloneEqual(t *testing.T) {
+	sp := MustSpace(6, 6)
+	a := NewIndexSet(sp)
+	a.AddLinear(1)
+	a.AddLinear(7)
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.AddLinear(9)
+	if a.Equal(c) || a.Len() != 2 {
+		t.Error("clone shares storage")
+	}
+	d := NewIndexSet(sp)
+	d.AddLinear(1)
+	d.AddLinear(8)
+	if a.Equal(d) {
+		t.Error("sets with same size, different members reported equal")
+	}
+}
+
+func TestIndexSetEach(t *testing.T) {
+	sp := MustSpace(5, 5)
+	s := NewIndexSet(sp)
+	want := map[int64]bool{0: true, 6: true, 24: true}
+	for lin := range want {
+		s.AddLinear(lin)
+	}
+	got := map[int64]bool{}
+	s.Each(func(ix Index) bool {
+		lin, err := sp.Linear(ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[lin] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Errorf("Each visited %d, want %d", len(got), len(want))
+	}
+	for lin := range want {
+		if !got[lin] {
+			t.Errorf("Each missed %d", lin)
+		}
+	}
+	// Early stop.
+	n := 0
+	s.EachLinear(func(int64) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("EachLinear early stop visited %d", n)
+	}
+}
+
+// Property: |a ∩ b| + |a ∪ b| == |a| + |b|.
+func TestIndexSetInclusionExclusion(t *testing.T) {
+	sp := MustSpace(8, 8)
+	f := func(av, bv []uint8) bool {
+		a, b := NewIndexSet(sp), NewIndexSet(sp)
+		for _, v := range av {
+			a.AddLinear(int64(v) % sp.Size())
+		}
+		for _, v := range bv {
+			b.AddLinear(int64(v) % sp.Size())
+		}
+		inter := a.IntersectLen(b)
+		u := a.Clone()
+		u.UnionWith(b)
+		return inter+u.Len() == a.Len()+b.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

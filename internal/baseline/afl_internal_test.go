@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestAFLBitmapEdgeHashing(t *testing.T) {
+	b := &aflBitmap{}
+	b.Hit(100)
+	b.Hit(200)
+	nonZero := 0
+	for _, c := range b.cur {
+		if c != 0 {
+			nonZero++
+		}
+	}
+	if nonZero != 2 {
+		t.Errorf("expected 2 touched map cells, got %d", nonZero)
+	}
+	// Edge sensitivity: the same node hit after different predecessors
+	// lands in different cells.
+	b.reset()
+	b.Hit(1)
+	b.Hit(5) // edge (1→5)
+	var first [aflMapSize]byte
+	copy(first[:], b.cur[:])
+	b.reset()
+	b.Hit(3)
+	b.Hit(5) // edge (3→5)
+	same := true
+	for i := range b.cur {
+		if b.cur[i] != first[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different edges hashed identically")
+	}
+}
+
+func TestAFLTimeBudget(t *testing.T) {
+	p := workload.MustCS(2, 64)
+	cfg := DefaultAFLConfig()
+	cfg.TimeBudget = 20 * time.Millisecond
+	cfg.Seed = 1
+	start := time.Now()
+	res, err := AFL(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("time budget wildly exceeded")
+	}
+	if res.Evaluations == 0 {
+		t.Error("no executions in budget")
+	}
+}
+
+func TestAFLProgressStops(t *testing.T) {
+	p := workload.MustCS(2, 64)
+	cfg := DefaultAFLConfig()
+	cfg.Seed = 2
+	cfg.MaxEvals = 100000
+	cfg.ProgressEvery = 50
+	calls := 0
+	cfg.Progress = func(r *Result) bool {
+		calls++
+		return r.Evaluations >= 200
+	}
+	res, err := AFL(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress never called")
+	}
+	if res.Evaluations > 1000 {
+		t.Errorf("progress stop ignored: %d evaluations", res.Evaluations)
+	}
+}
+
+func TestAFLDeterministicWithSeed(t *testing.T) {
+	p := workload.MustCS(2, 64)
+	run := func() int {
+		cfg := DefaultAFLConfig()
+		cfg.Seed = 7
+		cfg.MaxEvals = 500
+		res, err := AFL(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Indices.Len()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("seeded AFL runs differ: %d vs %d", a, b)
+	}
+}
+
+func TestHavocOpNeverPanics(t *testing.T) {
+	// havocOp on tiny buffers must stay in bounds.
+	for size := 0; size <= 9; size++ {
+		data := make([]byte, size)
+		rng := newTestRand(int64(size))
+		for i := 0; i < 2000; i++ {
+			havocOp(data, rng)
+		}
+	}
+}
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

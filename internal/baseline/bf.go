@@ -1,0 +1,108 @@
+// Package baseline implements the comparison systems of paper §V-C:
+// the brute-force enumerator (BF), a re-targeted coverage-guided
+// fuzzer in the style of American Fuzzy Lop (AFL), and the
+// Simple-Convex combination (SC) of Kondo's fuzzer with a single
+// regular convex hull.
+package baseline
+
+import (
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/workload"
+)
+
+// Result is the outcome of a baseline campaign, shaped like the
+// fuzzer's result so the experiment harness can compare them
+// uniformly.
+type Result struct {
+	// Indices is the union of accessed index sets over all executed
+	// runs.
+	Indices *array.IndexSet
+	// Evaluations is the number of program runs executed.
+	Evaluations int
+	// Exhausted reports whether the whole parameter space was covered
+	// (BF only; always false for AFL).
+	Exhausted bool
+	// Elapsed is the campaign's wall-clock duration.
+	Elapsed time.Duration
+}
+
+// BruteForce executes the program on every parameter valuation of Θ in
+// lexicographic order, recording accessed indices, until the budget
+// runs out (paper §V-C: "BF computes the true and precise result, if
+// given sufficient time"). A zero maxEvals or timeBudget leaves that
+// limit off.
+func BruteForce(p workload.Program, maxEvals int, timeBudget time.Duration) (*Result, error) {
+	start := time.Now()
+	var deadline time.Time
+	if timeBudget > 0 {
+		deadline = start.Add(timeBudget)
+	}
+	res := &Result{Indices: array.NewIndexSet(p.Space()), Exhausted: true}
+	acc := workload.NewVirtualAccessor(p.Space())
+	env := &workload.Env{Acc: acc}
+	var runErr error
+	// Check the deadline only every few runs; time.Now in the hot
+	// loop would dominate the cheap virtual executions.
+	const deadlineEvery = 64
+	p.Params().EachValuation(func(v []float64) bool {
+		if maxEvals > 0 && res.Evaluations >= maxEvals {
+			res.Exhausted = false
+			return false
+		}
+		if !deadline.IsZero() && res.Evaluations%deadlineEvery == 0 && time.Now().After(deadline) {
+			res.Exhausted = false
+			return false
+		}
+		if err := p.Run(v, env); err != nil {
+			runErr = err
+			return false
+		}
+		res.Evaluations++
+		return true
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	res.Indices = acc.Accessed()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// BruteForceUntil enumerates Θ lexicographically like BruteForce but
+// invokes stop every checkEvery evaluations with the accumulated
+// result; enumeration halts when stop returns true. It is the
+// incremental driver behind the Fig. 10 time-to-recall comparison.
+func BruteForceUntil(p workload.Program, checkEvery int, stop func(*Result) bool) (*Result, error) {
+	if checkEvery <= 0 {
+		checkEvery = 64
+	}
+	start := time.Now()
+	res := &Result{Exhausted: true}
+	acc := workload.NewVirtualAccessor(p.Space())
+	env := &workload.Env{Acc: acc}
+	var runErr error
+	p.Params().EachValuation(func(v []float64) bool {
+		if err := p.Run(v, env); err != nil {
+			runErr = err
+			return false
+		}
+		res.Evaluations++
+		if res.Evaluations%checkEvery == 0 {
+			res.Indices = acc.Accessed()
+			res.Elapsed = time.Since(start)
+			if stop(res) {
+				res.Exhausted = false
+				return false
+			}
+		}
+		return true
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	res.Indices = acc.Accessed()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,54 @@
+package baseline
+
+import (
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/carve"
+	"repro/internal/fuzz"
+	"repro/internal/workload"
+)
+
+// SCResult is the outcome of the Simple-Convex baseline.
+type SCResult struct {
+	// Approx is the rasterized single convex hull over the fuzzer's
+	// observations.
+	Approx *array.IndexSet
+	// Fuzz is the underlying fuzz campaign.
+	Fuzz *fuzz.Result
+	// Elapsed is the total wall-clock duration.
+	Elapsed time.Duration
+}
+
+// SimpleConvex runs Kondo's fuzzer but carves with one regular convex
+// hull over all observed points, with no cell split and no merge
+// thresholds — the SC baseline of §V-C used to show why the bottom-up
+// merging carver matters for precision (Fig. 8).
+func SimpleConvex(p workload.Program, cfg fuzz.Config) (*SCResult, error) {
+	start := time.Now()
+	f, err := fuzz.ForProgram(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fres, err := f.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &SCResult{Fuzz: fres}
+	if fres.Indices.Len() == 0 {
+		res.Approx = array.NewIndexSet(p.Space())
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	h, err := carve.SimpleConvex(fres.Indices)
+	if err != nil {
+		return nil, err
+	}
+	approx, err := h.Rasterize(p.Space())
+	if err != nil {
+		return nil, err
+	}
+	res.Approx = approx
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

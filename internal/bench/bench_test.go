@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick smoke-runs every registered experiment in
+// quick mode and sanity-checks report structure.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	opts := QuickOptions()
+	for _, id := range Experiments() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != id || rep.Title == "" {
+				t.Errorf("report metadata incomplete: %q %q", rep.ID, rep.Title)
+			}
+			if len(rep.Columns) == 0 || len(rep.Rows) == 0 {
+				t.Fatalf("report %s has no data", id)
+			}
+			for _, row := range rep.Rows {
+				if len(row) != len(rep.Columns) {
+					t.Errorf("row width %d != %d columns: %v", len(row), len(rep.Columns), row)
+				}
+			}
+			out := rep.String()
+			if !strings.Contains(out, rep.Title) {
+				t.Error("String() missing title")
+			}
+			t.Logf("\n%s", out)
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", QuickOptions()); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+// TestFig7Shape asserts the paper's headline ordering at the quick
+// scale: Kondo recall ≥ BF recall and Kondo recall ≥ AFL recall per
+// micro benchmark, with Kondo close to 1.
+func TestFig7Shape(t *testing.T) {
+	rep, err := Run("fig7", QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		name := row[0]
+		kondo := parseF(t, row[1])
+		bf := parseF(t, row[3])
+		afl := parseF(t, row[4])
+		t.Logf("%s: kondo=%.3f bf=%.3f afl=%.3f", name, kondo, bf, afl)
+		if kondo < 0.9 {
+			t.Errorf("%s: Kondo recall %.3f < 0.9", name, kondo)
+		}
+		if kondo < bf-0.05 {
+			t.Errorf("%s: Kondo recall %.3f below BF %.3f", name, kondo, bf)
+		}
+		if kondo < afl {
+			t.Errorf("%s: Kondo recall %.3f below AFL %.3f", name, kondo, afl)
+		}
+	}
+}
+
+// TestFig8Shape asserts Kondo's precision dominates SC's on the
+// separated-region programs.
+func TestFig8Shape(t *testing.T) {
+	rep, err := Run("fig8", QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]string{}
+	for _, row := range rep.Rows {
+		byName[row[0]] = row
+	}
+	for _, name := range []string{"LDC2D", "RDC2D"} {
+		row, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing program %s", name)
+		}
+		kondo := parseF(t, row[1])
+		sc := parseF(t, row[4])
+		if kondo < 0.95 {
+			t.Errorf("%s: Kondo precision %.3f, want ~1", name, kondo)
+		}
+		if sc > kondo {
+			t.Errorf("%s: SC precision %.3f above Kondo %.3f", name, sc, kondo)
+		}
+	}
+}
+
+// TestFig6Shape asserts the merge carver beats the single hull on the
+// synthetic cluster demo.
+func TestFig6Shape(t *testing.T) {
+	rep, err := Run("fig6", QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := parseF(t, rep.Rows[0][2])
+	single := parseF(t, rep.Rows[1][2])
+	if merged <= single {
+		t.Errorf("merged precision %.3f not above single-hull %.3f", merged, single)
+	}
+	if recall := parseF(t, rep.Rows[0][3]); recall < 0.999 {
+		t.Errorf("merged recall %.3f, want 1 (input points are the truth)", recall)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

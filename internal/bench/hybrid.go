@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/fuzz"
+	"repro/internal/hybrid"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Hybrid evaluates the §VI extension: after Kondo's campaign, spend a
+// secondary budget on an AFL-style havoc phase and merge any extra
+// offsets it finds. Run with deliberately tight primary budgets so
+// there is recall left to recover.
+func Hybrid(opts Options) (*Report, error) {
+	rep := &Report{
+		Columns: []string{"program", "primary tests", "Kondo recall", "hybrid recall", "AFL added"},
+		Notes: []string{
+			"§VI future work: consult other fuzzing schedules for missed offsets",
+			"recall of raw observations under a tight primary budget; the hybrid can",
+			"only add offsets, never lose them",
+		},
+	}
+	primary := maxInt(100, opts.EvalBudget/10)
+	secondary := opts.EvalBudget / 2
+	programs := []workload.Program{
+		workload.MustCS(2, opts.Size2D),
+		workload.MustCS(5, opts.Size2D),
+		workload.MustPRL(opts.Size2D, opts.Size2D),
+	}
+	for _, p := range programs {
+		gt, err := groundTruth(p)
+		if err != nil {
+			return nil, err
+		}
+		fcfg := fuzz.DefaultConfig()
+		fcfg.Seed = opts.Seed
+		fcfg.MaxEvals = primary
+
+		pure, err := hybrid.Run(p, hybrid.Config{Fuzz: fcfg})
+		if err != nil {
+			return nil, err
+		}
+		hyb, err := hybrid.Run(p, hybrid.Config{Fuzz: fcfg, AFLBudget: secondary, AFLSeed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{
+			p.Name(),
+			fmt.Sprint(primary),
+			fmtF(metrics.Recall(gt, pure.Indices)),
+			fmtF(metrics.Recall(gt, hyb.Indices)),
+			fmt.Sprint(hyb.AFLAdded),
+		})
+	}
+	return rep, nil
+}

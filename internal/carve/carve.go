@@ -1,0 +1,192 @@
+// Package carve implements Kondo's bottom-up convex-hull carving
+// algorithm (paper §IV-B, Alg. 2). Given the index points observed
+// during fuzzing, it SPLITs the offset space into fixed-size cells,
+// computes a convex hull per occupied cell, and repeatedly merges
+// hulls that are CLOSE — by boundary distance while hulls are small,
+// and by center distance once a hull has grown (the output-sensitive
+// merge the paper contrasts with classical divide-and-conquer hull
+// merging). The resulting hull set ℍ, rasterized, is the approximated
+// index subset I'_Θ.
+package carve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/geom"
+	"repro/internal/hull"
+)
+
+// CloseMode selects how the two distance tests compose in the CLOSE
+// predicate. The paper's prose supports disjunction (boundary distance
+// drives early merges of small hulls; center distance lets a grown
+// hull keep absorbing near ones, §IV-B); conjunction is provided as an
+// ablation.
+type CloseMode uint8
+
+const (
+	// CloseEither merges when either distance test passes (default,
+	// the output-sensitive behaviour described in the paper).
+	CloseEither CloseMode = iota
+	// CloseBoth merges only when both tests pass.
+	CloseBoth
+)
+
+// Config controls the carving algorithm. The distance thresholds are
+// the paper's center_d_thresh and bound_d_thresh (Fig. 5), with §V-B
+// defaults 20 and 10.
+type Config struct {
+	// CellSize is the edge length of the SPLIT grid cells in index
+	// units.
+	CellSize int
+	// CenterDistThresh merges two hulls whose centroids are within
+	// this distance.
+	CenterDistThresh float64
+	// BoundaryDistThresh merges two hulls whose nearest vertices are
+	// within this distance.
+	BoundaryDistThresh float64
+	// Mode composes the two distance tests (see CloseMode).
+	Mode CloseMode
+}
+
+// DefaultConfig returns the paper's §V-B carving configuration.
+func DefaultConfig() Config {
+	return Config{
+		CellSize:           16,
+		CenterDistThresh:   20,
+		BoundaryDistThresh: 10,
+	}
+}
+
+func (c Config) validate() error {
+	if c.CellSize <= 0 {
+		return fmt.Errorf("carve: cell size %d must be positive", c.CellSize)
+	}
+	if c.CenterDistThresh < 0 || c.BoundaryDistThresh < 0 {
+		return fmt.Errorf("carve: negative distance threshold")
+	}
+	return nil
+}
+
+// close is the paper's CLOSE predicate. Boundary distance drives the
+// early merging of small neighbouring cell hulls; center distance
+// lets a grown hull keep absorbing nearby small hulls whose vertices
+// have drifted apart (§IV-B's discussion of output sensitivity).
+func (c Config) close(a, b *hull.Hull) bool {
+	boundary := a.BoundaryDist(b) <= c.BoundaryDistThresh
+	center := a.CenterDist(b) <= c.CenterDistThresh
+	if c.Mode == CloseBoth {
+		return boundary && center
+	}
+	return boundary || center
+}
+
+// Carve runs Alg. 2 on the observed index points IS and returns the
+// merged hull set ℍ.
+func Carve(points *array.IndexSet, cfg Config) ([]*hull.Hull, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if points.Len() == 0 {
+		return nil, nil
+	}
+	cells := split(points, cfg.CellSize)
+	hulls := make([]*hull.Hull, 0, len(cells))
+	for _, cellPts := range cells {
+		h, err := hull.New(cellPts)
+		if err != nil {
+			return nil, err
+		}
+		hulls = append(hulls, h)
+	}
+	return mergeAll(hulls, cfg)
+}
+
+// SimpleConvex is the paper's SC baseline: the fuzzer's points carved
+// with a single regular convex hull (no cells, no merge thresholds).
+func SimpleConvex(points *array.IndexSet) (*hull.Hull, error) {
+	if points.Len() == 0 {
+		return nil, fmt.Errorf("carve: no points")
+	}
+	return hull.New(collectPoints(points))
+}
+
+// split partitions the points into fixed-size grid cells (Alg. 2's
+// SPLIT), returned in deterministic cell order.
+func split(points *array.IndexSet, cellSize int) [][]geom.Point {
+	type cellKey string
+	byCell := make(map[cellKey][]geom.Point)
+	var order []cellKey
+	points.Each(func(ix array.Index) bool {
+		key := make(array.Index, len(ix))
+		for k, v := range ix {
+			key[k] = v / cellSize
+		}
+		ck := cellKey(key.String())
+		if _, ok := byCell[ck]; !ok {
+			order = append(order, ck)
+		}
+		byCell[ck] = append(byCell[ck], indexToPoint(ix))
+		return true
+	})
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([][]geom.Point, len(order))
+	for i, ck := range order {
+		out[i] = byCell[ck]
+	}
+	return out
+}
+
+// mergeAll iterates the CLOSE-merge loop of Alg. 2 to fixpoint. Each
+// merge strictly reduces the hull count, so the loop terminates after
+// at most len(hulls)-1 merges.
+func mergeAll(hulls []*hull.Hull, cfg Config) ([]*hull.Hull, error) {
+	merged := true
+	for merged {
+		merged = false
+	scan:
+		for i := 0; i < len(hulls); i++ {
+			for j := i + 1; j < len(hulls); j++ {
+				if !cfg.close(hulls[i], hulls[j]) {
+					continue
+				}
+				m, err := hull.Merge(hulls[i], hulls[j])
+				if err != nil {
+					return nil, err
+				}
+				// Remove j first (higher index), then i.
+				hulls = append(hulls[:j], hulls[j+1:]...)
+				hulls[i] = m
+				merged = true
+				break scan
+			}
+		}
+	}
+	return hulls, nil
+}
+
+// indexToPoint converts an array index to a geometric point.
+func indexToPoint(ix array.Index) geom.Point {
+	p := make(geom.Point, len(ix))
+	for k, v := range ix {
+		p[k] = float64(v)
+	}
+	return p
+}
+
+// collectPoints materializes an index set as geometric points.
+func collectPoints(points *array.IndexSet) []geom.Point {
+	out := make([]geom.Point, 0, points.Len())
+	points.Each(func(ix array.Index) bool {
+		out = append(out, indexToPoint(ix))
+		return true
+	})
+	return out
+}
+
+// Rasterize converts a hull set into the approximated index subset
+// I'_Θ over the data array's space.
+func Rasterize(hulls []*hull.Hull, space array.Space) (*array.IndexSet, error) {
+	return hull.RasterizeAll(hulls, space)
+}

@@ -1,0 +1,33 @@
+package container
+
+import (
+	"archive/tar"
+	"io"
+
+	"repro/internal/array"
+	"repro/internal/workload"
+)
+
+// progForImage resolves the image's entry program at its data file's
+// shape (test helper mirroring Image.Run's resolution).
+func progForImage(img *Image) (workload.Program, error) {
+	return workload.ForSpace(img.Spec.Entrypoint, []int{64, 64})
+}
+
+// groundTruthOf wraps workload.GroundTruth for test brevity.
+func groundTruthOf(p workload.Program) (*array.IndexSet, error) {
+	return workload.GroundTruth(p)
+}
+
+// newEvilTar writes a single-entry tar with an arbitrary (possibly
+// malicious) path.
+func newEvilTar(w io.Writer, name string, body []byte) error {
+	tw := tar.NewWriter(w)
+	if err := tw.WriteHeader(&tar.Header{Name: name, Mode: 0o644, Size: int64(len(body))}); err != nil {
+		return err
+	}
+	if _, err := tw.Write(body); err != nil {
+		return err
+	}
+	return tw.Close()
+}

@@ -1,0 +1,87 @@
+package container
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestExportImportTarRoundTrip(t *testing.T) {
+	img, _ := buildTestImage(t)
+	var buf bytes.Buffer
+	if err := img.ExportTar(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty tar")
+	}
+
+	back, err := ImportTar(bytes.NewReader(buf.Bytes()), img.Spec, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	origFiles, err := img.Files()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backFiles, err := back.Files()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(backFiles) != len(origFiles) {
+		t.Fatalf("imported %d files, want %d", len(backFiles), len(origFiles))
+	}
+	for i := range origFiles {
+		if backFiles[i] != origFiles[i] {
+			t.Fatalf("file %d: %v != %v", i, backFiles[i], origFiles[i])
+		}
+	}
+
+	// The imported image still runs.
+	rep, err := back.Run([]float64{1, 1}, "data", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Misses != 0 {
+		t.Errorf("imported image run had %d misses", rep.Misses)
+	}
+}
+
+// TestTarSizeReflectsDebloating is the end-of-pipe claim: the shipped
+// artifact (the tar) shrinks by roughly the data reduction.
+func TestTarSizeReflectsDebloating(t *testing.T) {
+	img, _ := buildTestImage(t)
+	p, err := progForImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := groundTruthOf(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deb, _, err := img.DebloatData(t.TempDir(), "/stencil/mnist.sdf", "data", truth, []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var origTar, debTar bytes.Buffer
+	if err := img.ExportTar(&origTar); err != nil {
+		t.Fatal(err)
+	}
+	if err := deb.ExportTar(&debTar); err != nil {
+		t.Fatal(err)
+	}
+	if debTar.Len() >= origTar.Len() {
+		t.Errorf("debloated tar (%d) not smaller than original (%d)", debTar.Len(), origTar.Len())
+	}
+}
+
+func TestImportTarRejectsEscapes(t *testing.T) {
+	// Handcraft a tar with a path escaping the root.
+	var buf bytes.Buffer
+	tw := newEvilTar(&buf, "../escape.txt", []byte("boom"))
+	if tw != nil {
+		t.Fatal(tw)
+	}
+	if _, err := ImportTar(bytes.NewReader(buf.Bytes()), &Spec{}, t.TempDir()); err == nil {
+		t.Error("path escape should be rejected")
+	}
+}

@@ -1,0 +1,195 @@
+// Package debloat materializes the debloated data subset D_Θ (paper
+// Def. 1): given the approximated index subset I'_Θ produced by the
+// carver, it writes a new self-describing data file that keeps only
+// the chunks containing approved indices, plus a manifest describing
+// what was carved. It also provides the user-side runtime that serves
+// reads from the debloated file, surfaces the "data missing" exception
+// for carved-away accesses, and can optionally recover missing offsets
+// from a remote source (paper §VI).
+package debloat
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/array"
+	"repro/internal/sdf"
+)
+
+// Stats summarizes one debloating materialization — the quantities
+// behind Fig. 9's data-reduction numbers.
+type Stats struct {
+	// OriginalBytes and DebloatedBytes are the stored data-region
+	// sizes before and after carving.
+	OriginalBytes, DebloatedBytes int64
+	// TotalChunks and KeptChunks count the chunk table.
+	TotalChunks, KeptChunks int64
+	// KeptIndices is |I'_Θ|.
+	KeptIndices int
+}
+
+// Reduction returns the fraction of data bytes removed.
+func (s Stats) Reduction() float64 {
+	if s.OriginalBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.DebloatedBytes)/float64(s.OriginalBytes)
+}
+
+// WriteSubset writes a debloated copy of one dataset of the source
+// file. The output dataset is chunked with the given chunk shape
+// (which becomes the debloating granularity: a chunk is kept iff it
+// contains at least one approved index), carrying the same values for
+// all kept elements.
+func WriteSubset(srcPath, dstPath, dataset string, approx *array.IndexSet, chunk []int) (Stats, error) {
+	var stats Stats
+	src, err := sdf.Open(srcPath)
+	if err != nil {
+		return stats, err
+	}
+	defer src.Close()
+	ds, err := src.Dataset(dataset)
+	if err != nil {
+		return stats, err
+	}
+	space := ds.Space()
+	if approx.Space().Size() != space.Size() || approx.Space().Rank() != space.Rank() {
+		return stats, fmt.Errorf("debloat: approximation space %v does not match dataset space %v",
+			approx.Space(), space)
+	}
+
+	cl, err := array.NewChunkedLayout(space, ds.DType(), chunk)
+	if err != nil {
+		return stats, err
+	}
+
+	// Which chunks hold approved indices?
+	keep := make(map[int64]bool)
+	var keepErr error
+	approx.Each(func(ix array.Index) bool {
+		cc, _, err := cl.ChunkCoord(ix)
+		if err != nil {
+			keepErr = err
+			return false
+		}
+		lin, err := cl.ChunkLinear(cc)
+		if err != nil {
+			keepErr = err
+			return false
+		}
+		keep[lin] = true
+		return true
+	})
+	if keepErr != nil {
+		return stats, keepErr
+	}
+
+	w := sdf.NewWriter(dstPath)
+	dw, err := w.CreateDataset(dataset, space, ds.DType(), chunk)
+	if err != nil {
+		return stats, err
+	}
+	if err := stampProvenance(dw, "chunk", approx.Len()); err != nil {
+		return stats, err
+	}
+	// Copy values of kept chunks only; skipped chunks stay zero and
+	// are omitted from the file anyway.
+	grid := cl.Grid()
+	shape := cl.ChunkShape()
+	var copyErr error
+	grid.Each(func(cc array.Index) bool {
+		lin, err := cl.ChunkLinear(cc)
+		if err != nil {
+			copyErr = err
+			return false
+		}
+		if !keep[lin] {
+			return true
+		}
+		copyErr = copyChunk(ds, dw, cc, shape, space)
+		return copyErr == nil
+	})
+	if copyErr != nil {
+		return stats, copyErr
+	}
+	if err := dw.OmitChunksExcept(keep); err != nil {
+		return stats, err
+	}
+	if err := w.Close(); err != nil {
+		return stats, err
+	}
+
+	out, err := sdf.Open(dstPath)
+	if err != nil {
+		return stats, err
+	}
+	defer out.Close()
+	ods, err := out.Dataset(dataset)
+	if err != nil {
+		return stats, err
+	}
+	stats = Stats{
+		OriginalBytes:  ds.StoredBytes(),
+		DebloatedBytes: ods.StoredBytes(),
+		TotalChunks:    cl.NumChunks(),
+		KeptChunks:     int64(len(keep)),
+		KeptIndices:    approx.Len(),
+	}
+	return stats, nil
+}
+
+// copyChunk copies the logical elements of one chunk from the source
+// dataset into the staged destination.
+func copyChunk(src *sdf.Dataset, dst *sdf.DatasetWriter, cc array.Index, shape []int, space array.Space) error {
+	start := make([]int, len(cc))
+	count := make([]int, len(cc))
+	for k := range cc {
+		start[k] = cc[k] * shape[k]
+		count[k] = shape[k]
+		if start[k]+count[k] > space.Dim(k) {
+			count[k] = space.Dim(k) - start[k] // edge chunk clip
+		}
+	}
+	sel := sdf.Slab(start, count)
+	vals, err := src.ReadHyperslab(sel)
+	if err != nil {
+		return fmt.Errorf("debloat: reading chunk %v: %w", cc, err)
+	}
+	i := 0
+	var setErr error
+	sel.Each(func(ix array.Index) bool {
+		setErr = dst.Set(ix, vals[i])
+		i++
+		return setErr == nil
+	})
+	return setErr
+}
+
+// stampProvenance attaches the debloating provenance attributes to a
+// staged output dataset.
+func stampProvenance(dw *sdf.DatasetWriter, granularity string, kept int) error {
+	for _, kv := range [][2]string{
+		{"kondo.debloated", "true"},
+		{"kondo.granularity", granularity},
+		{"kondo.kept_indices", fmt.Sprint(kept)},
+	} {
+		if err := dw.SetAttr(kv[0], kv[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FileSizes returns the on-disk sizes of the original and debloated
+// files — what a container user actually downloads.
+func FileSizes(srcPath, dstPath string) (orig, debloated int64, err error) {
+	si, err := os.Stat(srcPath)
+	if err != nil {
+		return 0, 0, err
+	}
+	di, err := os.Stat(dstPath)
+	if err != nil {
+		return 0, 0, err
+	}
+	return si.Size(), di.Size(), nil
+}

@@ -1,0 +1,130 @@
+package debloat
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/array"
+	"repro/internal/geom"
+	"repro/internal/hull"
+)
+
+// Manifest records how a debloated data file was produced: the carved
+// hull set, the granularity, and the size accounting. It is the
+// "audited information" of paper §VI that a container runtime can use
+// — e.g. to decide, before touching the file, whether an access will
+// need the remote-fetch path — and it makes the carved subset
+// reproducible without re-running the fuzzer.
+type Manifest struct {
+	// Tool identifies the producer.
+	Tool string `json:"tool"`
+	// Program is the application the subset was carved for.
+	Program string `json:"program"`
+	// Dataset is the dataset name inside the data file.
+	Dataset string `json:"dataset"`
+	// Dims are the data array extents.
+	Dims []int `json:"dims"`
+	// Granularity is "chunk" or "element".
+	Granularity string `json:"granularity"`
+	// Chunk is the chunk shape for chunk-granular debloating.
+	Chunk []int `json:"chunk,omitempty"`
+	// Hulls are the carved convex hulls, as vertex lists.
+	Hulls [][][]float64 `json:"hulls"`
+	// KeptIndices is |I'_Θ|.
+	KeptIndices int `json:"kept_indices"`
+	// Evaluations is the number of debloat tests the fuzz campaign
+	// ran.
+	Evaluations int `json:"evaluations"`
+	// OriginalBytes and DebloatedBytes mirror Stats.
+	OriginalBytes  int64 `json:"original_bytes"`
+	DebloatedBytes int64 `json:"debloated_bytes"`
+}
+
+// NewManifest assembles a manifest from pipeline outputs.
+func NewManifest(program, dataset string, dims []int, granularity string, chunk []int,
+	hulls []*hull.Hull, stats Stats, evaluations int) *Manifest {
+
+	m := &Manifest{
+		Tool:           "kondo-repro",
+		Program:        program,
+		Dataset:        dataset,
+		Dims:           append([]int(nil), dims...),
+		Granularity:    granularity,
+		Chunk:          append([]int(nil), chunk...),
+		KeptIndices:    stats.KeptIndices,
+		Evaluations:    evaluations,
+		OriginalBytes:  stats.OriginalBytes,
+		DebloatedBytes: stats.DebloatedBytes,
+	}
+	for _, h := range hulls {
+		var verts [][]float64
+		for _, v := range h.Vertices() {
+			verts = append(verts, append([]float64(nil), v...))
+		}
+		m.Hulls = append(m.Hulls, verts)
+	}
+	return m
+}
+
+// Save writes the manifest as JSON.
+func (m *Manifest) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("debloat: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("debloat: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest reads a manifest written by Save.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("debloat: reading manifest: %w", err)
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("debloat: decoding manifest %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// RebuildHulls reconstructs the hull objects from the manifest.
+func (m *Manifest) RebuildHulls() ([]*hull.Hull, error) {
+	out := make([]*hull.Hull, 0, len(m.Hulls))
+	for i, verts := range m.Hulls {
+		pts := make([]geom.Point, len(verts))
+		for j, v := range verts {
+			pts[j] = geom.Point(v)
+		}
+		h, err := hull.New(pts)
+		if err != nil {
+			return nil, fmt.Errorf("debloat: manifest hull %d: %w", i, err)
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+// Covers reports whether the carved hull set contains the index — the
+// manifest-level answer to "will this access need the remote-fetch
+// path?".
+func (m *Manifest) Covers(ix array.Index) (bool, error) {
+	hulls, err := m.RebuildHulls()
+	if err != nil {
+		return false, err
+	}
+	p := make(geom.Point, len(ix))
+	for k, v := range ix {
+		p[k] = float64(v)
+	}
+	for _, h := range hulls {
+		if h.Contains(p) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

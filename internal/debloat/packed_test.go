@@ -1,0 +1,116 @@
+package debloat
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/sdf"
+	"repro/internal/workload"
+)
+
+func TestWritePackedExactReduction(t *testing.T) {
+	dir := t.TempDir()
+	orig, space := buildOriginal(t, dir)
+	approx := approxLowerTriangle(space)
+	dst := filepath.Join(dir, "packed.sdf")
+
+	stats, err := WritePacked(orig, dst, "data", approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element-granular: stored bytes are exactly |approx| elements.
+	if stats.DebloatedBytes != int64(approx.Len())*8 {
+		t.Errorf("DebloatedBytes = %d, want %d", stats.DebloatedBytes, approx.Len()*8)
+	}
+	wantReduction := 1 - float64(approx.Len())/float64(space.Size())
+	if got := stats.Reduction(); got < wantReduction-1e-9 || got > wantReduction+1e-9 {
+		t.Errorf("Reduction = %v, want %v", got, wantReduction)
+	}
+
+	f, err := sdf.Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, _ := f.Dataset("data")
+	// Kept values exact; dropped values missing.
+	n := 0
+	space.Each(func(ix array.Index) bool {
+		v, err := ds.ReadElement(ix)
+		lin, _ := space.Linear(ix)
+		if approx.Contains(ix) {
+			if err != nil || v != float64(lin) {
+				t.Fatalf("kept %v = %v, %v", ix, v, err)
+			}
+		} else if !errors.Is(err, sdf.ErrDataMissing) {
+			t.Fatalf("dropped %v error = %v", ix, err)
+		}
+		n++
+		return n < 2000
+	})
+}
+
+func TestPackedBeatsChunkedReduction(t *testing.T) {
+	// For the same approximation, element granularity must reduce at
+	// least as much as chunk granularity.
+	dir := t.TempDir()
+	orig, space := buildOriginal(t, dir)
+	approx := approxLowerTriangle(space)
+
+	chunked := filepath.Join(dir, "chunked.sdf")
+	sChunk, err := WriteSubset(orig, chunked, "data", approx, []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := filepath.Join(dir, "packed.sdf")
+	sPack, err := WritePacked(orig, packed, "data", approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sPack.DebloatedBytes >= sChunk.DebloatedBytes {
+		t.Errorf("packed %d bytes not below chunked %d", sPack.DebloatedBytes, sChunk.DebloatedBytes)
+	}
+	_ = space
+}
+
+func TestPackedRuntimeServesProgram(t *testing.T) {
+	dir := t.TempDir()
+	orig, _ := buildOriginal(t, dir)
+	p := workload.MustCS(2, 64)
+	truth, err := workload.GroundTruth(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "packed.sdf")
+	if _, err := WritePacked(orig, dst, "data", truth); err != nil {
+		t.Fatal(err)
+	}
+	f, err := sdf.Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, _ := f.Dataset("data")
+	rt := NewRuntime(ds, nil)
+	// Every supported run works against the packed file.
+	for _, v := range [][]float64{{1, 1}, {0, 2}, {3, 9}} {
+		if err := p.Run(v, &workload.Env{Acc: rt}); err != nil {
+			t.Fatalf("run %v: %v", v, err)
+		}
+	}
+	if rt.Misses() != 0 {
+		t.Errorf("misses = %d", rt.Misses())
+	}
+}
+
+func TestWritePackedSpaceMismatch(t *testing.T) {
+	dir := t.TempDir()
+	orig, _ := buildOriginal(t, dir)
+	wrong := array.NewIndexSet(array.MustSpace(8, 8))
+	wrong.AddLinear(1)
+	if _, err := WritePacked(orig, filepath.Join(dir, "x.sdf"), "data", wrong); err == nil {
+		t.Error("space mismatch should error")
+	}
+}

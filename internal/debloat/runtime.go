@@ -1,0 +1,152 @@
+package debloat
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/array"
+	"repro/internal/sdf"
+)
+
+// ErrDataMissing is re-exported so runtime users don't need to import
+// the format layer to classify the exception.
+var ErrDataMissing = sdf.ErrDataMissing
+
+// Fetcher recovers element values that were carved away. It models the
+// remote-server recovery path of paper §VI: "a container runtime can
+// use audited information to pull missing data offsets from a remote
+// server, when requested."
+type Fetcher interface {
+	// Fetch returns the value of one missing element.
+	Fetch(dataset string, ix array.Index) (float64, error)
+}
+
+// OriginFetcher serves misses from the original (un-debloated) file —
+// the repository copy the container was built from.
+type OriginFetcher struct {
+	mu   sync.Mutex
+	path string
+	file *sdf.File
+}
+
+// NewOriginFetcher returns a fetcher reading from the original file at
+// path. The file is opened lazily on first miss.
+func NewOriginFetcher(path string) *OriginFetcher {
+	return &OriginFetcher{path: path}
+}
+
+// Fetch implements Fetcher.
+func (f *OriginFetcher) Fetch(dataset string, ix array.Index) (float64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.file == nil {
+		file, err := sdf.Open(f.path)
+		if err != nil {
+			return 0, fmt.Errorf("debloat: opening origin: %w", err)
+		}
+		f.file = file
+	}
+	ds, err := f.file.Dataset(dataset)
+	if err != nil {
+		return 0, err
+	}
+	return ds.ReadElement(ix)
+}
+
+// Close releases the origin file if it was opened.
+func (f *OriginFetcher) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.file == nil {
+		return nil
+	}
+	err := f.file.Close()
+	f.file = nil
+	return err
+}
+
+// Runtime serves a program's reads from a debloated file. Reads of
+// carved-away data raise the data-missing exception, or are recovered
+// through the fetcher when one is attached. Misses are counted either
+// way, giving the §V-D1 missed-access telemetry.
+type Runtime struct {
+	ds      *sdf.Dataset
+	fetcher Fetcher
+	name    string
+
+	mu     sync.Mutex
+	misses int64
+}
+
+// NewRuntime returns a runtime over one dataset of an opened debloated
+// file. fetcher may be nil, in which case misses are fatal.
+func NewRuntime(ds *sdf.Dataset, fetcher Fetcher) *Runtime {
+	return &Runtime{ds: ds, fetcher: fetcher, name: ds.Name()}
+}
+
+// Space implements workload.Accessor.
+func (rt *Runtime) Space() array.Space { return rt.ds.Space() }
+
+// Misses returns how many element reads touched carved-away data.
+func (rt *Runtime) Misses() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.misses
+}
+
+func (rt *Runtime) noteMiss() {
+	rt.mu.Lock()
+	rt.misses++
+	rt.mu.Unlock()
+}
+
+// ReadElement implements workload.Accessor with miss recovery.
+func (rt *Runtime) ReadElement(ix array.Index) (float64, error) {
+	v, err := rt.ds.ReadElement(ix)
+	if err == nil {
+		return v, nil
+	}
+	if !errors.Is(err, sdf.ErrDataMissing) {
+		return 0, err
+	}
+	rt.noteMiss()
+	if rt.fetcher == nil {
+		return 0, fmt.Errorf("debloat: %w at %v of %q", ErrDataMissing, ix, rt.name)
+	}
+	return rt.fetcher.Fetch(rt.name, ix)
+}
+
+// ReadSlab implements workload.Accessor: the dense block read of the
+// workload layer, served element-wise so that partially-present blocks
+// recover only the missing elements.
+func (rt *Runtime) ReadSlab(start, count []int) ([]float64, error) {
+	sel := sdf.Slab(start, count)
+	if err := sel.Validate(rt.ds.Space()); err != nil {
+		return nil, err
+	}
+	// Fast path: try the coalesced hyperslab read first; fall back to
+	// per-element recovery only when something is missing.
+	vals, err := rt.ds.ReadHyperslab(sel)
+	if err == nil {
+		return vals, nil
+	}
+	if !errors.Is(err, sdf.ErrDataMissing) {
+		return nil, err
+	}
+	out := make([]float64, 0, sel.NumElements())
+	var readErr error
+	sel.Each(func(ix array.Index) bool {
+		v, err := rt.ReadElement(ix.Clone())
+		if err != nil {
+			readErr = err
+			return false
+		}
+		out = append(out, v)
+		return true
+	})
+	if readErr != nil {
+		return nil, readErr
+	}
+	return out, nil
+}

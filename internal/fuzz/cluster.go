@@ -1,0 +1,72 @@
+package fuzz
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// cluster is one spatial cluster of evaluated parameter values of a
+// single type (useful or non-useful). The boundary-based schedule
+// mutates values toward the nearest cluster of the *opposite* type,
+// because the space between a useful and a non-useful cluster holds
+// the subset boundary (paper §IV-A2).
+type cluster struct {
+	center geom.Point
+	count  int
+}
+
+// clusterSet is the ADD_TO_CLUSTER bookkeeping for one value type.
+type clusterSet struct {
+	clusters []cluster
+	diameter float64
+}
+
+func newClusterSet(diameter float64) *clusterSet {
+	return &clusterSet{diameter: diameter}
+}
+
+// add implements ADD_TO_CLUSTER: if the value is farther than the
+// configured diameter from every existing center it becomes a new
+// cluster center; otherwise it joins the nearest cluster, whose
+// center is updated to the running mean of its members.
+func (cs *clusterSet) add(v geom.Point) {
+	best := -1
+	bestD2 := math.Inf(1)
+	for i := range cs.clusters {
+		if d2 := v.Dist2(cs.clusters[i].center); d2 < bestD2 {
+			bestD2 = d2
+			best = i
+		}
+	}
+	if best < 0 || bestD2 > cs.diameter*cs.diameter {
+		cs.clusters = append(cs.clusters, cluster{center: v.Clone(), count: 1})
+		return
+	}
+	c := &cs.clusters[best]
+	c.count++
+	inv := 1.0 / float64(c.count)
+	for k := range c.center {
+		c.center[k] += (v[k] - c.center[k]) * inv
+	}
+}
+
+// nearest returns the cluster center closest to v and its distance, or
+// ok=false if the set is empty.
+func (cs *clusterSet) nearest(v geom.Point) (center geom.Point, dist float64, ok bool) {
+	best := -1
+	bestD2 := math.Inf(1)
+	for i := range cs.clusters {
+		if d2 := v.Dist2(cs.clusters[i].center); d2 < bestD2 {
+			bestD2 = d2
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, 0, false
+	}
+	return cs.clusters[best].center, math.Sqrt(bestD2), true
+}
+
+// size returns the number of clusters.
+func (cs *clusterSet) size() int { return len(cs.clusters) }

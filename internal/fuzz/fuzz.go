@@ -1,0 +1,279 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// Evaluator is the debloat test (paper Def. 2): given a parameter
+// value it returns the index subset I_v the audited program accesses.
+// An empty set marks the value as not useful.
+type Evaluator func(v []float64) (*array.IndexSet, error)
+
+// SeedRecord is one evaluated parameter value, retained for the Fig. 4
+// style scatter of the fuzz campaign.
+type SeedRecord struct {
+	V      []float64
+	Useful bool
+}
+
+// Result is the outcome of a fuzz campaign.
+type Result struct {
+	// Indices is IS = ∪ I_v over all evaluated seeds — the carver's
+	// input.
+	Indices *array.IndexSet
+	// Seeds are the evaluated parameter values in evaluation order.
+	Seeds []SeedRecord
+	// Iterations is the number of schedule iterations executed.
+	Iterations int
+	// Evaluations is the number of debloat tests run (= p of Def. 3).
+	Evaluations int
+	// Useful and NonUseful count seed verdicts.
+	Useful, NonUseful int
+	// UsefulClusters and NonUsefulClusters count the clusters formed.
+	UsefulClusters, NonUsefulClusters int
+	// Curve is the cumulative |IS| after each evaluation — the
+	// data-coverage-over-tests trajectory of the campaign.
+	Curve []int
+	// Elapsed is the campaign's wall-clock duration.
+	Elapsed time.Duration
+}
+
+// Fuzzer runs Alg. 1 against one program's parameter space.
+type Fuzzer struct {
+	cfg    Config
+	params workload.ParamSpace
+	space  array.Space
+	eval   Evaluator
+}
+
+// New returns a fuzzer for the given parameter space Θ, data-array
+// space, and debloat-test evaluator.
+func New(params workload.ParamSpace, space array.Space, eval Evaluator, cfg Config) (*Fuzzer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(params) == 0 {
+		return nil, fmt.Errorf("fuzz: empty parameter space")
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("fuzz: nil evaluator")
+	}
+	return &Fuzzer{cfg: cfg, params: params, space: space, eval: eval}, nil
+}
+
+// ForProgram returns a fuzzer whose evaluator is the virtual debloat
+// test of the given program.
+func ForProgram(p workload.Program, cfg Config) (*Fuzzer, error) {
+	eval := func(v []float64) (*array.IndexSet, error) {
+		return workload.RunOnVirtual(p, v)
+	}
+	return New(p.Params(), p.Space(), eval, cfg)
+}
+
+// Run executes the fuzz schedule (Alg. 1) and returns the accumulated
+// index observations.
+func (f *Fuzzer) Run() (*Result, error) {
+	cfg := f.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	var deadline time.Time
+	if cfg.TimeBudget > 0 {
+		deadline = start.Add(cfg.TimeBudget)
+	}
+
+	res := &Result{Indices: array.NewIndexSet(f.space)}
+	clUseful := newClusterSet(cfg.Diameter)
+	clNonUseful := newClusterSet(cfg.Diameter)
+	evaluated := make(map[string]bool)
+	var queue [][]float64
+	eps := cfg.Epsilon
+	idleIters := 0 // new_itr: iterations since the last new offset
+
+	randomRestart := func() {
+		queue = queue[:0]
+		for i := 0; i < cfg.InitialSeeds; i++ {
+			queue = append(queue, f.params.Sample(rng))
+		}
+	}
+
+	// A provided corpus takes the first turn; it is clamped into Θ and
+	// deduped by the normal evaluation bookkeeping.
+	for _, v := range cfg.InitialValues {
+		if len(v) == len(f.params) {
+			queue = append(queue, f.params.Clamp(v))
+		}
+	}
+
+	for itr := 1; itr <= cfg.MaxIter; itr++ {
+		if cfg.StopIter > 0 && idleIters >= cfg.StopIter {
+			break
+		}
+		if cfg.MaxEvals > 0 && res.Evaluations >= cfg.MaxEvals {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		res.Iterations = itr
+
+		if len(queue) == 0 || (cfg.Restart > 0 && itr%cfg.Restart == 0) {
+			randomRestart()
+		}
+		v := queue[0]
+		queue = queue[1:]
+
+		key := seedKey(v)
+		if evaluated[key] {
+			idleIters++
+			continue
+		}
+		evaluated[key] = true
+
+		iv, err := f.eval(v)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: debloat test at %v: %w", v, err)
+		}
+		res.Evaluations++
+		useful := !iv.Empty()
+
+		before := res.Indices.Len()
+		res.Indices.UnionWith(iv)
+		if res.Indices.Len() > before {
+			idleIters = 0
+		} else {
+			idleIters++
+		}
+		res.Curve = append(res.Curve, res.Indices.Len())
+
+		res.Seeds = append(res.Seeds, SeedRecord{V: append([]float64(nil), v...), Useful: useful})
+		vp := geom.Point(v)
+		if useful {
+			res.Useful++
+			clUseful.add(vp)
+		} else {
+			res.NonUseful++
+			clNonUseful.add(vp)
+		}
+
+		for _, mutant := range f.mutate(vp, useful, eps, clUseful, clNonUseful, rng) {
+			mk := seedKey(mutant)
+			if !evaluated[mk] {
+				queue = append(queue, mutant)
+			}
+		}
+
+		if cfg.DecayIter > 0 && itr%cfg.DecayIter == 0 {
+			eps *= cfg.Decay
+		}
+	}
+
+	res.UsefulClusters = clUseful.size()
+	res.NonUsefulClusters = clNonUseful.size()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// mutate implements MUTATE of Alg. 1: with probability ε a plain
+// exploit/explore frame mutation; otherwise a boundary-based mutation
+// toward the nearest opposite-type cluster, with the frame scaled by
+// the distance to that cluster (far from the boundary → bigger frame,
+// near → denser sampling).
+func (f *Fuzzer) mutate(v geom.Point, useful bool, eps float64,
+	clUseful, clNonUseful *clusterSet, rng *rand.Rand) [][]float64 {
+
+	dist := f.cfg.NonUsefulDist
+	reps := f.cfg.NonUsefulReps
+	if useful {
+		dist = f.cfg.UsefulDist
+		reps = f.cfg.UsefulReps
+	}
+
+	useBoundary := false
+	var target geom.Point
+	var targetDist float64
+	if f.cfg.Boundary && rng.Float64() > eps {
+		opposite := clNonUseful
+		if !useful {
+			opposite = clUseful
+		}
+		if c, d, ok := opposite.nearest(v); ok {
+			useBoundary = true
+			target = c
+			targetDist = d
+		}
+	}
+
+	out := make([][]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		var mutant []float64
+		if useBoundary {
+			mutant = f.greedyStep(v, target, targetDist, dist, rng)
+		} else {
+			mutant = f.uniformStep(v, dist, rng)
+		}
+		out = append(out, f.params.Clamp(mutant))
+	}
+	return out
+}
+
+// uniformStep is UNIFORM: step each dimension by a magnitude drawn
+// from the frame interval, in a random direction.
+func (f *Fuzzer) uniformStep(v geom.Point, dist [2]float64, rng *rand.Rand) []float64 {
+	out := make([]float64, len(v))
+	for k := range v {
+		step := dist[0] + rng.Float64()*(dist[1]-dist[0])
+		if rng.Intn(2) == 0 {
+			step = -step
+		}
+		out[k] = v[k] + step
+	}
+	return out
+}
+
+// greedyStep is GREEDY: move toward the opposite-type cluster center,
+// scaling the frame by the distance to it — a distant boundary gets a
+// larger stride, a close boundary gets fine-grained probing.
+func (f *Fuzzer) greedyStep(v, target geom.Point, targetDist float64, dist [2]float64, rng *rand.Rand) []float64 {
+	scale := targetDist / f.cfg.Diameter
+	if scale < 0.25 {
+		scale = 0.25
+	} else if scale > 4 {
+		scale = 4
+	}
+	mag := (dist[0] + rng.Float64()*(dist[1]-dist[0])) * scale
+	dir := target.Sub(v)
+	n := dir.Norm()
+	out := make([]float64, len(v))
+	for k := range v {
+		var d float64
+		if n > 0 {
+			d = dir[k] / n
+		}
+		// Step toward the boundary plus per-dimension jitter so the
+		// probes spread along the boundary, not just across it.
+		jitter := (rng.Float64()*2 - 1) * dist[0]
+		out[k] = v[k] + d*mag + jitter
+	}
+	return out
+}
+
+// seedKey identifies a seed by the integer valuation it rounds to —
+// the "i is new" dedup of Alg. 1 line 19, expressed in the units the
+// program actually distinguishes.
+func seedKey(v []float64) string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", workload.RoundParam(x))
+	}
+	return b.String()
+}

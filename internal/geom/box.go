@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Box is an axis-aligned bounding box in d dimensions, inclusive on
+// both ends. Min and Max must have the same dimension and satisfy
+// Min[i] <= Max[i] for a non-empty box.
+type Box struct {
+	Min, Max Point
+}
+
+// NewBox returns the box spanning [min, max]. It panics on dimension
+// mismatch.
+func NewBox(min, max Point) Box {
+	checkDim(min, max)
+	return Box{Min: min.Clone(), Max: max.Clone()}
+}
+
+// BoundingBox returns the smallest box containing all points. It
+// panics if pts is empty.
+func BoundingBox(pts []Point) Box {
+	if len(pts) == 0 {
+		panic("geom: BoundingBox of empty point set")
+	}
+	min := pts[0].Clone()
+	max := pts[0].Clone()
+	for _, p := range pts[1:] {
+		checkDim(min, p)
+		for i := range p {
+			if p[i] < min[i] {
+				min[i] = p[i]
+			}
+			if p[i] > max[i] {
+				max[i] = p[i]
+			}
+		}
+	}
+	return Box{Min: min, Max: max}
+}
+
+// Dim returns the dimension of the box.
+func (b Box) Dim() int { return len(b.Min) }
+
+// Contains reports whether p lies inside the box (inclusive).
+func (b Box) Contains(p Point) bool {
+	checkDim(b.Min, p)
+	for i := range p {
+		if p[i] < b.Min[i] || p[i] > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the two boxes share at least one point.
+func (b Box) Intersects(o Box) bool {
+	checkDim(b.Min, o.Min)
+	for i := range b.Min {
+		if b.Max[i] < o.Min[i] || o.Max[i] < b.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the smallest box containing both b and o.
+func (b Box) Union(o Box) Box {
+	checkDim(b.Min, o.Min)
+	min := b.Min.Clone()
+	max := b.Max.Clone()
+	for i := range min {
+		if o.Min[i] < min[i] {
+			min[i] = o.Min[i]
+		}
+		if o.Max[i] > max[i] {
+			max[i] = o.Max[i]
+		}
+	}
+	return Box{Min: min, Max: max}
+}
+
+// Center returns the midpoint of the box.
+func (b Box) Center() Point {
+	c := make(Point, len(b.Min))
+	for i := range c {
+		c[i] = (b.Min[i] + b.Max[i]) / 2
+	}
+	return c
+}
+
+// Volume returns the product of the box's side lengths. A degenerate
+// box (a point or lower-dimensional slab) has volume zero.
+func (b Box) Volume() float64 {
+	v := 1.0
+	for i := range b.Min {
+		v *= b.Max[i] - b.Min[i]
+	}
+	return v
+}
+
+// Clamp returns p with every coordinate clamped into the box.
+func (b Box) Clamp(p Point) Point {
+	checkDim(b.Min, p)
+	q := p.Clone()
+	for i := range q {
+		q[i] = math.Max(b.Min[i], math.Min(b.Max[i], q[i]))
+	}
+	return q
+}
+
+// String formats the box as "[min .. max]".
+func (b Box) String() string {
+	return fmt.Sprintf("[%s .. %s]", b.Min, b.Max)
+}

@@ -1,0 +1,117 @@
+package hull
+
+import "repro/internal/geom"
+
+// halfspace is one face constraint n·x <= c of a 3D hull.
+type halfspace struct {
+	n geom.Point
+	c float64
+}
+
+// faceEps absorbs floating-point noise when classifying points against
+// face planes; hull vertices are integer index coordinates.
+const faceEps = 1e-7
+
+// facesFromVertices enumerates the supporting face planes of the
+// convex hull of 3D extreme vertices by scanning vertex triples: a
+// triple's plane is a face iff every vertex lies on one side. It
+// returns nil when the vertices are affinely degenerate (rank < 3),
+// in which case callers must fall back to the LP membership test.
+//
+// The O(|V|^4) scan is deliberate: carver hulls keep only extreme
+// vertices and stay small (tens of points), and this avoids a full
+// incremental-3D-hull implementation with its own degeneracy
+// handling.
+func facesFromVertices(verts []geom.Point) []halfspace {
+	n := len(verts)
+	if n < 4 {
+		return nil
+	}
+	var faces []halfspace
+	degenerate := true
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				normal := geom.Cross3(verts[j].Sub(verts[i]), verts[k].Sub(verts[i]))
+				if normal.Norm() <= faceEps {
+					continue // collinear triple
+				}
+				c := normal.Dot(verts[i])
+				pos, neg := false, false
+				for m := 0; m < n; m++ {
+					s := normal.Dot(verts[m]) - c
+					if s > faceEps {
+						pos = true
+					} else if s < -faceEps {
+						neg = true
+					}
+					if pos && neg {
+						break
+					}
+				}
+				if pos && neg {
+					degenerate = false
+					continue // interior-crossing plane, not a face
+				}
+				// Orient the constraint as n·x <= c.
+				hs := halfspace{n: normal, c: c}
+				if pos {
+					hs.n = normal.Scale(-1)
+					hs.c = -c
+				}
+				if neg || pos {
+					degenerate = false
+				}
+				faces = append(faces, normalizeFace(hs))
+			}
+		}
+	}
+	if degenerate {
+		// Every triple was collinear or every plane contained all
+		// points: rank < 3.
+		return nil
+	}
+	return dedupeFaces(faces)
+}
+
+// normalizeFace scales the constraint to unit normal so duplicates
+// from different triples of the same face plane compare equal.
+func normalizeFace(h halfspace) halfspace {
+	norm := h.n.Norm()
+	return halfspace{n: h.n.Scale(1 / norm), c: h.c / norm}
+}
+
+// dedupeFaces removes near-identical constraints.
+func dedupeFaces(faces []halfspace) []halfspace {
+	var out []halfspace
+	for _, f := range faces {
+		dup := false
+		for _, g := range out {
+			if f.n.ApproxEqual(g.n, 1e-6) && absF(f.c-g.c) <= 1e-6 {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// inHalfspaces reports whether p satisfies every face constraint.
+func inHalfspaces(p geom.Point, faces []halfspace) bool {
+	for _, f := range faces {
+		if f.n.Dot(p) > f.c+faceEps {
+			return false
+		}
+	}
+	return true
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,230 @@
+package hull
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/array"
+	"repro/internal/geom"
+)
+
+// Hull is the convex hull of a set of d-dimensional points, stored as
+// its extreme vertices. Hulls are immutable once built; merging
+// produces a new hull from the union of vertex sets, which is
+// equivalent to hulling the union of the original point sets (paper
+// §IV-B).
+type Hull struct {
+	dim   int
+	verts []geom.Point
+	bbox  geom.Box
+	cent  geom.Point
+
+	// faces is the halfspace description for 3D hulls; nil when the
+	// vertices are affinely degenerate (then Contains uses the LP).
+	faces      []halfspace
+	facesBuilt bool
+}
+
+// New builds the convex hull of the given points. At least one point
+// is required; all points must share a dimension.
+func New(points []geom.Point) (*Hull, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("hull: no points")
+	}
+	dim := points[0].Dim()
+	for _, p := range points[1:] {
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("hull: mixed dimensions %d and %d", dim, p.Dim())
+		}
+	}
+	h := &Hull{dim: dim}
+	switch dim {
+	case 2:
+		h.verts = monotoneChain(points)
+	default:
+		h.verts = extremeVertices(points)
+	}
+	h.bbox = geom.BoundingBox(h.verts)
+	h.cent = geom.Centroid(h.verts)
+	return h, nil
+}
+
+// extremeVertices reduces points to (a superset-free approximation of)
+// the extreme points of their convex hull using incremental LP
+// membership: a point already inside the hull of the kept set is
+// dropped, and the kept set is re-pruned at the end so points absorbed
+// by later arrivals are removed too.
+func extremeVertices(points []geom.Point) []geom.Point {
+	kept := make([]geom.Point, 0, 16)
+	for _, p := range points {
+		if len(kept) > 0 && InConvexCombination(p, kept) {
+			continue
+		}
+		kept = append(kept, p.Clone())
+	}
+	// Final prune: drop any kept vertex inside the hull of the others.
+	for i := 0; i < len(kept); {
+		others := make([]geom.Point, 0, len(kept)-1)
+		others = append(others, kept[:i]...)
+		others = append(others, kept[i+1:]...)
+		if len(others) > 0 && InConvexCombination(kept[i], others) {
+			kept = append(kept[:i], kept[i+1:]...)
+			continue
+		}
+		i++
+	}
+	return kept
+}
+
+// Merge returns the hull of the union of the two hulls' underlying
+// point sets, computed from the union of their vertices.
+func Merge(a, b *Hull) (*Hull, error) {
+	if a.dim != b.dim {
+		return nil, fmt.Errorf("hull: merge of %dD and %dD hulls", a.dim, b.dim)
+	}
+	pts := make([]geom.Point, 0, len(a.verts)+len(b.verts))
+	pts = append(pts, a.verts...)
+	pts = append(pts, b.verts...)
+	return New(pts)
+}
+
+// Dim returns the dimension of the hull's ambient space.
+func (h *Hull) Dim() int { return h.dim }
+
+// Vertices returns the hull's extreme vertices (CCW order in 2D).
+func (h *Hull) Vertices() []geom.Point { return h.verts }
+
+// NumVertices returns the number of extreme vertices.
+func (h *Hull) NumVertices() int { return len(h.verts) }
+
+// Centroid returns the centroid of the hull's vertices — the "hull
+// center" of the paper's CLOSE predicate.
+func (h *Hull) Centroid() geom.Point { return h.cent }
+
+// BBox returns the hull's axis-aligned bounding box.
+func (h *Hull) BBox() geom.Box { return h.bbox }
+
+// Contains reports whether p lies inside or on the hull.
+func (h *Hull) Contains(p geom.Point) bool {
+	if p.Dim() != h.dim {
+		return false
+	}
+	if !h.bbox.Contains(p) {
+		return false
+	}
+	switch {
+	case len(h.verts) == 1:
+		return p.ApproxEqual(h.verts[0], geom.Eps)
+	case len(h.verts) == 2:
+		return geom.SegmentDist2(p, h.verts[0], h.verts[1]) <= geom.Eps
+	case h.dim == 2:
+		return inPolygonCCW(p, h.verts)
+	case h.dim == 3:
+		if faces := h.faceCache(); faces != nil {
+			return inHalfspaces(p, faces)
+		}
+		return InConvexCombination(p, h.verts)
+	default:
+		return InConvexCombination(p, h.verts)
+	}
+}
+
+// faceCache lazily builds the 3D halfspace description.
+func (h *Hull) faceCache() []halfspace {
+	if !h.facesBuilt {
+		h.faces = facesFromVertices(h.verts)
+		h.facesBuilt = true
+	}
+	return h.faces
+}
+
+// CenterDist returns the distance between the two hulls' centers.
+func (h *Hull) CenterDist(o *Hull) float64 {
+	return h.cent.Dist(o.cent)
+}
+
+// BoundaryDist returns the minimum distance between the two hulls'
+// vertex sets — the paper's hull-boundary distance.
+func (h *Hull) BoundaryDist(o *Hull) float64 {
+	best := math.Inf(1)
+	for _, u := range h.verts {
+		for _, v := range o.verts {
+			if d := u.Dist(v); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// Rasterize collects every integer index of the space that lies inside
+// the hull. This converts the carver's hull set back into the
+// approximated index subset I'_Θ.
+func (h *Hull) Rasterize(space array.Space) (*array.IndexSet, error) {
+	if space.Rank() != h.dim {
+		return nil, fmt.Errorf("hull: rasterize %dD hull over rank-%d space", h.dim, space.Rank())
+	}
+	set := array.NewIndexSet(space)
+	if err := h.rasterizeInto(space, set); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// rasterizeInto adds the hull's covered indices to an existing set.
+func (h *Hull) rasterizeInto(space array.Space, set *array.IndexSet) error {
+	// Iterate only the integer lattice inside bbox ∩ space.
+	lo := make([]int, h.dim)
+	hi := make([]int, h.dim)
+	for k := 0; k < h.dim; k++ {
+		lo[k] = int(math.Ceil(h.bbox.Min[k] - geom.Eps))
+		hi[k] = int(math.Floor(h.bbox.Max[k] + geom.Eps))
+		if lo[k] < 0 {
+			lo[k] = 0
+		}
+		if hi[k] > space.Dim(k)-1 {
+			hi[k] = space.Dim(k) - 1
+		}
+		if lo[k] > hi[k] {
+			return nil // hull entirely outside the space
+		}
+	}
+	cur := append([]int(nil), lo...)
+	p := make(geom.Point, h.dim)
+	ix := make(array.Index, h.dim)
+	for {
+		for k := 0; k < h.dim; k++ {
+			p[k] = float64(cur[k])
+			ix[k] = cur[k]
+		}
+		if h.Contains(p) {
+			if _, err := set.Add(ix); err != nil {
+				return err
+			}
+		}
+		k := h.dim - 1
+		for k >= 0 {
+			cur[k]++
+			if cur[k] <= hi[k] {
+				break
+			}
+			cur[k] = lo[k]
+			k--
+		}
+		if k < 0 {
+			return nil
+		}
+	}
+}
+
+// RasterizeAll rasterizes a set of hulls into one index set (the union
+// of their covered indices).
+func RasterizeAll(hulls []*Hull, space array.Space) (*array.IndexSet, error) {
+	set := array.NewIndexSet(space)
+	for _, h := range hulls {
+		if err := h.rasterizeInto(space, set); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}

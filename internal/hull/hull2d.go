@@ -1,0 +1,74 @@
+package hull
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// monotoneChain computes the convex hull of 2D points and returns its
+// vertices in counter-clockwise order without repetition. Collinear
+// boundary points are dropped (only extreme vertices remain).
+// Degenerate inputs yield fewer than three vertices: a single point or
+// a segment's two endpoints.
+func monotoneChain(pts []geom.Point) []geom.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := make([]geom.Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	// Dedupe.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if !p.Equal(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) == 1 {
+		return []geom.Point{uniq[0].Clone()}
+	}
+	if len(uniq) == 2 {
+		return []geom.Point{uniq[0].Clone(), uniq[1].Clone()}
+	}
+
+	var lower, upper []geom.Point
+	for _, p := range uniq {
+		for len(lower) >= 2 && geom.Orient2D(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(uniq) - 1; i >= 0; i-- {
+		p := uniq[i]
+		for len(upper) >= 2 && geom.Orient2D(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	// Concatenate, dropping the duplicated endpoints.
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	out := make([]geom.Point, len(hull))
+	for i, p := range hull {
+		out[i] = p.Clone()
+	}
+	if len(out) == 0 {
+		// All points collinear: lower/upper collapsed. Return the two
+		// extreme points of the sorted order.
+		return []geom.Point{uniq[0].Clone(), uniq[len(uniq)-1].Clone()}
+	}
+	return out
+}
+
+// inPolygonCCW reports whether p lies inside or on the convex polygon
+// with CCW vertices verts (at least 3).
+func inPolygonCCW(p geom.Point, verts []geom.Point) bool {
+	n := len(verts)
+	for i := 0; i < n; i++ {
+		a, b := verts[i], verts[(i+1)%n]
+		if geom.Orient2D(a, b, p) < 0 {
+			return false
+		}
+	}
+	return true
+}

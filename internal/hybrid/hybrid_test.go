@@ -1,0 +1,67 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/fuzz"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func TestHybridNeverBelowKondoAlone(t *testing.T) {
+	p := workload.MustCS(5, 64)
+	gt, err := workload.GroundTruth(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fcfg := fuzz.DefaultConfig()
+	fcfg.Seed = 3
+	fcfg.MaxEvals = 400
+
+	pure, err := Run(p, Config{Fuzz: fcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pure.AFLAdded != 0 || pure.Evaluations == 0 {
+		t.Errorf("pure run: %+v", pure)
+	}
+
+	hyb, err := Run(p, Config{Fuzz: fcfg, AFLBudget: 800, AFLSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pureRecall := metrics.Recall(gt, pure.Indices)
+	hybRecall := metrics.Recall(gt, hyb.Indices)
+	t.Logf("recall: pure=%.3f hybrid=%.3f (AFL added %d indices)", pureRecall, hybRecall, hyb.AFLAdded)
+	if hybRecall < pureRecall {
+		t.Errorf("hybrid recall %.3f below pure %.3f", hybRecall, pureRecall)
+	}
+	if hyb.Evaluations <= pure.Evaluations {
+		t.Error("hybrid should spend the secondary budget")
+	}
+	if hyb.KondoIndices != pure.KondoIndices {
+		t.Errorf("phase-1 observations differ: %d vs %d (seeded runs must agree)",
+			hyb.KondoIndices, pure.KondoIndices)
+	}
+}
+
+func TestHybridObservationsStayExact(t *testing.T) {
+	// Both phases record only real accesses, so the merged set is a
+	// subset of the truth (precision of raw observations is 1).
+	p := workload.MustCS(2, 64)
+	gt, err := workload.GroundTruth(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := fuzz.DefaultConfig()
+	fcfg.Seed = 1
+	fcfg.MaxEvals = 300
+	res, err := Run(p, Config{Fuzz: fcfg, AFLBudget: 300, AFLSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := metrics.Precision(gt, res.Indices); p != 1 {
+		t.Errorf("raw observation precision = %v, want 1", p)
+	}
+}

@@ -1,0 +1,75 @@
+package ioevent
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: ascend(from) visits exactly the intervals with
+// Start >= from, in ascending order, for random tree contents.
+func TestAscendProperty(t *testing.T) {
+	f := func(keys []uint8, from uint8) bool {
+		tr := newBTree()
+		inserted := map[int64]bool{}
+		for _, k := range keys {
+			key := int64(k)
+			if inserted[key] {
+				continue
+			}
+			inserted[key] = true
+			tr.insert(Interval{Start: key, End: key + 1})
+		}
+		var got []int64
+		tr.ascend(int64(from), func(iv Interval) bool {
+			got = append(got, iv.Start)
+			return true
+		})
+		// Ascending and all >= from.
+		for i, k := range got {
+			if k < int64(from) {
+				return false
+			}
+			if i > 0 && got[i-1] >= k {
+				return false
+			}
+		}
+		// Complete: every inserted key >= from appears.
+		want := 0
+		for k := range inserted {
+			if k >= int64(from) {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after arbitrary merging inserts, the stored ranges are
+// disjoint, sorted, and non-adjacent (fully coalesced).
+func TestIntervalSetCanonicalForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		s := NewIntervalSet()
+		for i := 0; i < 150; i++ {
+			if err := s.Add(int64(rng.Intn(500)), int64(rng.Intn(30)+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ranges := s.Ranges()
+		for i, r := range ranges {
+			if r.Len() <= 0 {
+				t.Fatalf("empty stored range %v", r)
+			}
+			if i > 0 {
+				prev := ranges[i-1]
+				if prev.End >= r.Start {
+					t.Fatalf("ranges %v and %v overlap or touch (not coalesced)", prev, r)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package ioevent implements Kondo's fine-grained I/O event audit
+// model (paper §IV-C): system-call events as ⟨id, c, l, sz⟩ four
+// tuples, interval-based B-trees indexing the byte ranges those events
+// touch, per-process range lookup, and cross-process merging of
+// overlapping ranges.
+package ioevent
+
+// Interval is a half-open byte range [Start, End). All intervals in a
+// tree are non-empty and pairwise disjoint (merging happens on
+// insert).
+type Interval struct {
+	Start, End int64
+}
+
+// Len returns the number of bytes the interval covers.
+func (iv Interval) Len() int64 { return iv.End - iv.Start }
+
+// overlapsOrTouches reports whether two intervals overlap or are
+// directly adjacent, i.e. whether they merge into one range. The
+// paper's example merges (0,110) with (90,120) and keeps (130,150)
+// separate.
+func (iv Interval) overlapsOrTouches(o Interval) bool {
+	return iv.Start <= o.End && o.Start <= iv.End
+}
+
+// btreeDegree is the minimum degree t of the interval B-tree: nodes
+// other than the root hold between t-1 and 2t-1 intervals. Chosen so
+// nodes fill a couple of cache lines.
+const btreeDegree = 16
+
+// btree is an in-memory B-tree of disjoint intervals ordered by Start.
+// It supports floor search, ordered ascent, insert, and delete — the
+// operations the merging insert needs. It is deliberately a textbook
+// CLRS B-tree rather than a balanced binary tree: the paper calls for
+// "interval-based B-trees" to index the (large) event stream.
+type btree struct {
+	root *btreeNode
+	size int
+}
+
+type btreeNode struct {
+	items    []Interval
+	children []*btreeNode
+}
+
+func (n *btreeNode) leaf() bool { return len(n.children) == 0 }
+
+func newBTree() *btree {
+	return &btree{root: &btreeNode{}}
+}
+
+// Len returns the number of intervals stored.
+func (t *btree) Len() int { return t.size }
+
+// findIndex returns the position of the first item in n with
+// Start >= key, and whether that item's Start equals key.
+func findIndex(n *btreeNode, key int64) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.items[mid].Start < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.items) && n.items[lo].Start == key
+}
+
+// floor returns the interval with the greatest Start <= key, or false
+// if none exists.
+func (t *btree) floor(key int64) (Interval, bool) {
+	var best Interval
+	found := false
+	n := t.root
+	for n != nil {
+		i, exact := findIndex(n, key)
+		if exact {
+			return n.items[i], true
+		}
+		if i > 0 {
+			best = n.items[i-1]
+			found = true
+		}
+		if n.leaf() {
+			break
+		}
+		n = n.children[i]
+	}
+	return best, found
+}
+
+// ascend calls fn for every interval with Start >= from in ascending
+// Start order, stopping when fn returns false.
+func (t *btree) ascend(from int64, fn func(Interval) bool) {
+	t.root.ascend(from, fn)
+}
+
+func (n *btreeNode) ascend(from int64, fn func(Interval) bool) bool {
+	i, _ := findIndex(n, from)
+	for ; i < len(n.items); i++ {
+		if !n.leaf() {
+			if !n.children[i].ascend(from, fn) {
+				return false
+			}
+		}
+		if !fn(n.items[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.items)].ascend(from, fn)
+	}
+	return true
+}
+
+// each calls fn for every interval in ascending order.
+func (t *btree) each(fn func(Interval) bool) {
+	t.ascend(-1<<62, fn)
+}
+
+// insert adds an interval that must not overlap any stored interval
+// (callers merge first).
+func (t *btree) insert(iv Interval) {
+	r := t.root
+	if len(r.items) == 2*btreeDegree-1 {
+		newRoot := &btreeNode{children: []*btreeNode{r}}
+		newRoot.splitChild(0)
+		t.root = newRoot
+		r = newRoot
+	}
+	r.insertNonFull(iv)
+	t.size++
+}
+
+func (n *btreeNode) splitChild(i int) {
+	t := btreeDegree
+	child := n.children[i]
+	mid := child.items[t-1]
+	right := &btreeNode{
+		items: append([]Interval(nil), child.items[t:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[t:]...)
+		child.children = child.children[:t]
+	}
+	child.items = child.items[:t-1]
+
+	n.items = append(n.items, Interval{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = mid
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *btreeNode) insertNonFull(iv Interval) {
+	i, _ := findIndex(n, iv.Start)
+	if n.leaf() {
+		n.items = append(n.items, Interval{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = iv
+		return
+	}
+	if len(n.children[i].items) == 2*btreeDegree-1 {
+		n.splitChild(i)
+		if iv.Start > n.items[i].Start {
+			i++
+		}
+	}
+	n.children[i].insertNonFull(iv)
+}
+
+// delete removes the interval whose Start equals key. It reports
+// whether an interval was removed.
+func (t *btree) delete(key int64) bool {
+	if !t.root.delete(key) {
+		return false
+	}
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	t.size--
+	return true
+}
+
+func (n *btreeNode) delete(key int64) bool {
+	i, exact := findIndex(n, key)
+	if exact {
+		if n.leaf() {
+			n.items = append(n.items[:i], n.items[i+1:]...)
+			return true
+		}
+		return n.deleteInternal(i)
+	}
+	if n.leaf() {
+		return false
+	}
+	n.ensureChildFill(i)
+	// ensureChildFill may have shifted item positions; re-find.
+	i, exact = findIndex(n, key)
+	if exact {
+		if n.leaf() {
+			n.items = append(n.items[:i], n.items[i+1:]...)
+			return true
+		}
+		return n.deleteInternal(i)
+	}
+	return n.children[i].delete(key)
+}
+
+// deleteInternal removes n.items[i] from an internal node using the
+// predecessor/successor/merge cases of CLRS.
+func (n *btreeNode) deleteInternal(i int) bool {
+	key := n.items[i].Start
+	if len(n.children[i].items) >= btreeDegree {
+		pred := n.children[i].max()
+		n.items[i] = pred
+		return n.children[i].delete(pred.Start)
+	}
+	if len(n.children[i+1].items) >= btreeDegree {
+		succ := n.children[i+1].min()
+		n.items[i] = succ
+		return n.children[i+1].delete(succ.Start)
+	}
+	n.mergeChildren(i)
+	return n.children[i].delete(key)
+}
+
+func (n *btreeNode) min() Interval {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+func (n *btreeNode) max() Interval {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// ensureChildFill guarantees n.children[i] has at least btreeDegree
+// items before descending, borrowing from a sibling or merging.
+func (n *btreeNode) ensureChildFill(i int) {
+	if len(n.children[i].items) >= btreeDegree {
+		return
+	}
+	if i > 0 && len(n.children[i-1].items) >= btreeDegree {
+		n.rotateRight(i)
+		return
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) >= btreeDegree {
+		n.rotateLeft(i)
+		return
+	}
+	if i == len(n.children)-1 {
+		i--
+	}
+	n.mergeChildren(i)
+}
+
+func (n *btreeNode) rotateRight(i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.items = append([]Interval{n.items[i-1]}, child.items...)
+	n.items[i-1] = left.items[len(left.items)-1]
+	left.items = left.items[:len(left.items)-1]
+	if !left.leaf() {
+		child.children = append([]*btreeNode{left.children[len(left.children)-1]}, child.children...)
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+func (n *btreeNode) rotateLeft(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	n.items[i] = right.items[0]
+	right.items = right.items[1:]
+	if !right.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = right.children[1:]
+	}
+}
+
+// mergeChildren merges children i and i+1 around separator item i.
+func (n *btreeNode) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}

@@ -1,0 +1,173 @@
+package ioevent
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func treeContents(t *btree) []Interval {
+	var out []Interval
+	t.each(func(iv Interval) bool {
+		out = append(out, iv)
+		return true
+	})
+	return out
+}
+
+func TestBTreeInsertOrdered(t *testing.T) {
+	tr := newBTree()
+	// Insert in scrambled order; iteration must be sorted by Start.
+	starts := []int64{50, 10, 90, 30, 70, 20, 80, 40, 60, 0}
+	for _, s := range starts {
+		tr.insert(Interval{Start: s, End: s + 5})
+	}
+	if tr.Len() != len(starts) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(starts))
+	}
+	got := treeContents(tr)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Start >= got[i].Start {
+			t.Fatalf("iteration not sorted: %v", got)
+		}
+	}
+}
+
+func TestBTreeFloor(t *testing.T) {
+	tr := newBTree()
+	for s := int64(0); s < 100; s += 10 {
+		tr.insert(Interval{Start: s, End: s + 5})
+	}
+	cases := []struct {
+		key  int64
+		want int64
+		ok   bool
+	}{
+		{0, 0, true},
+		{9, 0, true},
+		{10, 10, true},
+		{55, 50, true},
+		{99, 90, true},
+		{1000, 90, true},
+		{-1, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := tr.floor(c.key)
+		if ok != c.ok || (ok && got.Start != c.want) {
+			t.Errorf("floor(%d) = %v, %v; want start %d, %v", c.key, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestBTreeAscendFrom(t *testing.T) {
+	tr := newBTree()
+	for s := int64(0); s < 50; s += 10 {
+		tr.insert(Interval{Start: s, End: s + 1})
+	}
+	var got []int64
+	tr.ascend(25, func(iv Interval) bool {
+		got = append(got, iv.Start)
+		return true
+	})
+	want := []int64{30, 40}
+	if len(got) != len(want) || got[0] != 30 || got[1] != 40 {
+		t.Errorf("ascend(25) = %v, want %v", got, want)
+	}
+	// Early stop.
+	n := 0
+	tr.ascend(0, func(Interval) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	tr := newBTree()
+	for s := int64(0); s < 100; s++ {
+		tr.insert(Interval{Start: s, End: s + 1})
+	}
+	if !tr.delete(42) {
+		t.Fatal("delete(42) failed")
+	}
+	if tr.delete(42) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.delete(1000) {
+		t.Fatal("delete of absent key succeeded")
+	}
+	if tr.Len() != 99 {
+		t.Fatalf("Len = %d, want 99", tr.Len())
+	}
+	for _, iv := range treeContents(tr) {
+		if iv.Start == 42 {
+			t.Fatal("deleted key still present")
+		}
+	}
+}
+
+// TestBTreeRandomizedAgainstOracle drives the tree through a long
+// random insert/delete sequence, checking contents against a map
+// oracle after every operation batch. This exercises node splits,
+// rotations and merges at depth > 2.
+func TestBTreeRandomizedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := newBTree()
+	oracle := map[int64]Interval{}
+
+	check := func() {
+		if tr.Len() != len(oracle) {
+			t.Fatalf("Len = %d, oracle %d", tr.Len(), len(oracle))
+		}
+		got := treeContents(tr)
+		keys := make([]int64, 0, len(oracle))
+		for k := range oracle {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		if len(got) != len(keys) {
+			t.Fatalf("iteration count %d, oracle %d", len(got), len(keys))
+		}
+		for i, k := range keys {
+			if got[i].Start != k {
+				t.Fatalf("position %d: got %d, oracle %d", i, got[i].Start, k)
+			}
+		}
+	}
+
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 20; i++ {
+			k := int64(rng.Intn(500))
+			if _, exists := oracle[k]; exists {
+				continue
+			}
+			iv := Interval{Start: k, End: k + 1}
+			tr.insert(iv)
+			oracle[k] = iv
+		}
+		for i := 0; i < 15; i++ {
+			k := int64(rng.Intn(500))
+			_, exists := oracle[k]
+			got := tr.delete(k)
+			if got != exists {
+				t.Fatalf("delete(%d) = %v, oracle exists %v", k, got, exists)
+			}
+			delete(oracle, k)
+		}
+		check()
+
+		// Floor spot checks.
+		for i := 0; i < 10; i++ {
+			k := int64(rng.Intn(600))
+			gotIv, gotOK := tr.floor(k)
+			var want int64 = -1
+			for ok := range oracle {
+				if ok <= k && ok > want {
+					want = ok
+				}
+			}
+			if gotOK != (want >= 0) || (gotOK && gotIv.Start != want) {
+				t.Fatalf("floor(%d) = %v,%v; oracle %d", k, gotIv, gotOK, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package ioevent
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPaperMergeExample reproduces the worked example of §IV-C: events
+// e1(P1,R,0,110), e2(P2,R,70,30), e3(P1,R,130,20), e4(P1,R,90,30)
+// result in accessed offsets (0,120) and (130,150).
+func TestPaperMergeExample(t *testing.T) {
+	s := NewStore()
+	file := "d_file"
+	events := []Event{
+		{ID: ID{PID: 1, File: file}, Op: OpRead, Offset: 0, Size: 110},
+		{ID: ID{PID: 2, File: file}, Op: OpRead, Offset: 70, Size: 30},
+		{ID: ID{PID: 1, File: file}, Op: OpRead, Offset: 130, Size: 20},
+		{ID: ID{PID: 1, File: file}, Op: OpRead, Offset: 90, Size: 30},
+	}
+	for _, e := range events {
+		if err := s.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.FileRanges(file)
+	want := []Interval{{0, 120}, {130, 150}}
+	if len(got) != len(want) {
+		t.Fatalf("FileRanges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FileRanges = %v, want %v", got, want)
+		}
+	}
+
+	// Per-process lookup: P1 alone covers (0,120) and (130,150)
+	// because e4 bridges 90..120 with e1's 0..110.
+	p1 := s.Lookup(ID{PID: 1, File: file})
+	if len(p1) != 2 || p1[0] != (Interval{0, 120}) || p1[1] != (Interval{130, 150}) {
+		t.Fatalf("P1 ranges = %v", p1)
+	}
+	p2 := s.Lookup(ID{PID: 2, File: file})
+	if len(p2) != 1 || p2[0] != (Interval{70, 100}) {
+		t.Fatalf("P2 ranges = %v", p2)
+	}
+	if s.Events() != 4 {
+		t.Errorf("Events = %d, want 4", s.Events())
+	}
+}
+
+func TestNonAccessOpsAddNoRanges(t *testing.T) {
+	s := NewStore()
+	id := ID{PID: 1, File: "f"}
+	s.Record(Event{ID: id, Op: OpOpen})
+	s.Record(Event{ID: id, Op: OpLseek, Offset: 100})
+	s.Record(Event{ID: id, Op: OpClose})
+	if got := s.Lookup(id); got != nil {
+		t.Errorf("non-access ops produced ranges: %v", got)
+	}
+	if s.Events() != 3 {
+		t.Errorf("Events = %d, want 3", s.Events())
+	}
+}
+
+func TestWriteDetection(t *testing.T) {
+	s := NewStore()
+	id := ID{PID: 1, File: "f"}
+	s.Record(Event{ID: id, Op: OpRead, Offset: 0, Size: 10})
+	if len(s.Writes()) != 0 {
+		t.Error("reads flagged as writes")
+	}
+	s.Record(Event{ID: id, Op: OpWrite, Offset: 5, Size: 5})
+	w := s.Writes()
+	if len(w) != 1 || w[0].Op != OpWrite {
+		t.Errorf("Writes = %v", w)
+	}
+}
+
+func TestStoreFilesAndReset(t *testing.T) {
+	s := NewStore()
+	s.Record(Event{ID: ID{PID: 1, File: "b"}, Op: OpRead, Offset: 0, Size: 1})
+	s.Record(Event{ID: ID{PID: 2, File: "a"}, Op: OpRead, Offset: 0, Size: 1})
+	s.Record(Event{ID: ID{PID: 3, File: "b"}, Op: OpRead, Offset: 5, Size: 1})
+	files := s.Files()
+	if len(files) != 2 || files[0] != "a" || files[1] != "b" {
+		t.Errorf("Files = %v", files)
+	}
+	s.Reset()
+	if s.Events() != 0 || len(s.Files()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+	if got := s.FileRanges("b"); len(got) != 0 {
+		t.Errorf("ranges after reset: %v", got)
+	}
+}
+
+func TestStoreConcurrentRecord(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Record(Event{
+					ID:     ID{PID: pid, File: "f"},
+					Op:     OpRead,
+					Offset: int64(i * 10),
+					Size:   10,
+				})
+			}
+		}(p)
+	}
+	wg.Wait()
+	if s.Events() != 800 {
+		t.Errorf("Events = %d, want 800", s.Events())
+	}
+	// All processes covered the same contiguous kilobyte.
+	r := s.FileRanges("f")
+	if len(r) != 1 || r[0] != (Interval{0, 1000}) {
+		t.Errorf("FileRanges = %v", r)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpOpen: "open", OpRead: "read", OpLseek: "lseek",
+		OpMmap: "mmap", OpWrite: "write", OpClose: "close",
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{ID: ID{PID: 7, File: "mnist.h5"}, Op: OpRead, Offset: 16, Size: 128}
+	if got := e.String(); got != "e(P7:mnist.h5, read, 16, 128)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRecordInvalidRange(t *testing.T) {
+	s := NewStore()
+	err := s.Record(Event{ID: ID{PID: 1, File: "f"}, Op: OpRead, Offset: 0, Size: 0})
+	if err == nil {
+		t.Error("zero-size read should error")
+	}
+}

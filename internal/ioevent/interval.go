@@ -1,0 +1,108 @@
+package ioevent
+
+import "fmt"
+
+// IntervalSet maintains a set of disjoint, merged byte ranges indexed
+// by an interval B-tree. Inserting a range that overlaps or touches
+// existing ranges coalesces them, exactly as Kondo "merges events that
+// overlap in accessed offset ranges" (paper §IV-C).
+type IntervalSet struct {
+	tree    *btree
+	covered int64 // total bytes covered, maintained incrementally
+}
+
+// NewIntervalSet returns an empty set.
+func NewIntervalSet() *IntervalSet {
+	return &IntervalSet{tree: newBTree()}
+}
+
+// Add inserts the half-open range [start, start+size), merging with
+// any overlapping or adjacent stored ranges. Empty or negative ranges
+// are rejected.
+func (s *IntervalSet) Add(start, size int64) error {
+	if size <= 0 {
+		return fmt.Errorf("ioevent: invalid range size %d", size)
+	}
+	if start < 0 {
+		return fmt.Errorf("ioevent: negative range start %d", start)
+	}
+	iv := Interval{Start: start, End: start + size}
+
+	// The only interval starting before iv that can merge with it is
+	// the floor of iv.Start.
+	if fl, ok := s.tree.floor(iv.Start); ok && fl.overlapsOrTouches(iv) {
+		s.tree.delete(fl.Start)
+		s.covered -= fl.Len()
+		if fl.Start < iv.Start {
+			iv.Start = fl.Start
+		}
+		if fl.End > iv.End {
+			iv.End = fl.End
+		}
+	}
+	// Absorb every following interval that overlaps or touches.
+	for {
+		var next Interval
+		found := false
+		s.tree.ascend(iv.Start, func(x Interval) bool {
+			next = x
+			found = true
+			return false
+		})
+		if !found || !next.overlapsOrTouches(iv) {
+			break
+		}
+		s.tree.delete(next.Start)
+		s.covered -= next.Len()
+		if next.End > iv.End {
+			iv.End = next.End
+		}
+	}
+	s.tree.insert(iv)
+	s.covered += iv.Len()
+	return nil
+}
+
+// Contains reports whether the byte at offset off is covered.
+func (s *IntervalSet) Contains(off int64) bool {
+	fl, ok := s.tree.floor(off)
+	return ok && off < fl.End
+}
+
+// ContainsRange reports whether the whole range [start, start+size)
+// is covered by a single stored interval.
+func (s *IntervalSet) ContainsRange(start, size int64) bool {
+	fl, ok := s.tree.floor(start)
+	return ok && start+size <= fl.End
+}
+
+// Covered returns the total number of bytes covered.
+func (s *IntervalSet) Covered() int64 { return s.covered }
+
+// Len returns the number of disjoint ranges stored.
+func (s *IntervalSet) Len() int { return s.tree.Len() }
+
+// Ranges returns the stored ranges in ascending order.
+func (s *IntervalSet) Ranges() []Interval {
+	out := make([]Interval, 0, s.tree.Len())
+	s.tree.each(func(iv Interval) bool {
+		out = append(out, iv)
+		return true
+	})
+	return out
+}
+
+// Each visits the stored ranges in ascending order, stopping early if
+// fn returns false.
+func (s *IntervalSet) Each(fn func(Interval) bool) {
+	s.tree.each(fn)
+}
+
+// MergeFrom inserts every range of o into s.
+func (s *IntervalSet) MergeFrom(o *IntervalSet) {
+	o.Each(func(iv Interval) bool {
+		// Ranges from another set are already validated.
+		_ = s.Add(iv.Start, iv.Len())
+		return true
+	})
+}

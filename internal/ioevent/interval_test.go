@@ -1,0 +1,165 @@
+package ioevent
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalSetMergeSemantics(t *testing.T) {
+	s := NewIntervalSet()
+	mustAdd := func(start, size int64) {
+		t.Helper()
+		if err := s.Add(start, size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0, 10)
+	mustAdd(20, 10)
+	if s.Len() != 2 || s.Covered() != 20 {
+		t.Fatalf("Len=%d Covered=%d", s.Len(), s.Covered())
+	}
+	// Overlap the first.
+	mustAdd(5, 10)
+	if s.Len() != 2 || s.Covered() != 25 {
+		t.Fatalf("after overlap: Len=%d Covered=%d, ranges %v", s.Len(), s.Covered(), s.Ranges())
+	}
+	// Bridge the gap (touching both).
+	mustAdd(15, 5)
+	if s.Len() != 1 || s.Covered() != 30 {
+		t.Fatalf("after bridge: Len=%d Covered=%d, ranges %v", s.Len(), s.Covered(), s.Ranges())
+	}
+	r := s.Ranges()
+	if r[0].Start != 0 || r[0].End != 30 {
+		t.Fatalf("ranges = %v", r)
+	}
+}
+
+func TestIntervalSetAdjacencyMerges(t *testing.T) {
+	s := NewIntervalSet()
+	s.Add(0, 10)
+	s.Add(10, 5) // exactly adjacent
+	if s.Len() != 1 {
+		t.Fatalf("adjacent ranges not merged: %v", s.Ranges())
+	}
+}
+
+func TestIntervalSetValidation(t *testing.T) {
+	s := NewIntervalSet()
+	if err := s.Add(0, 0); err == nil {
+		t.Error("zero size should error")
+	}
+	if err := s.Add(0, -5); err == nil {
+		t.Error("negative size should error")
+	}
+	if err := s.Add(-1, 5); err == nil {
+		t.Error("negative start should error")
+	}
+}
+
+func TestIntervalSetContains(t *testing.T) {
+	s := NewIntervalSet()
+	s.Add(10, 10)
+	cases := []struct {
+		off  int64
+		want bool
+	}{
+		{9, false}, {10, true}, {19, true}, {20, false},
+	}
+	for _, c := range cases {
+		if got := s.Contains(c.off); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.off, got, c.want)
+		}
+	}
+	if !s.ContainsRange(12, 8) {
+		t.Error("ContainsRange(12,8) should hold")
+	}
+	if s.ContainsRange(12, 9) {
+		t.Error("ContainsRange(12,9) crosses the end")
+	}
+}
+
+func TestMergeFrom(t *testing.T) {
+	a, b := NewIntervalSet(), NewIntervalSet()
+	a.Add(0, 10)
+	b.Add(5, 10)
+	b.Add(100, 10)
+	a.MergeFrom(b)
+	r := a.Ranges()
+	if len(r) != 2 || r[0] != (Interval{0, 15}) || r[1] != (Interval{100, 110}) {
+		t.Fatalf("merged ranges = %v", r)
+	}
+}
+
+// naiveSet is a bitmap oracle for randomized testing.
+type naiveSet map[int64]bool
+
+func (n naiveSet) add(start, size int64) {
+	for i := start; i < start+size; i++ {
+		n[i] = true
+	}
+}
+
+func (n naiveSet) covered() int64 { return int64(len(n)) }
+
+func (n naiveSet) rangeCount() int {
+	count := 0
+	for off := range n {
+		if !n[off-1] {
+			count++
+		}
+	}
+	return count
+}
+
+func TestIntervalSetRandomizedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		s := NewIntervalSet()
+		oracle := naiveSet{}
+		for i := 0; i < 100; i++ {
+			start := int64(rng.Intn(300))
+			size := int64(rng.Intn(20) + 1)
+			if err := s.Add(start, size); err != nil {
+				t.Fatal(err)
+			}
+			oracle.add(start, size)
+		}
+		if s.Covered() != oracle.covered() {
+			t.Fatalf("trial %d: Covered = %d, oracle %d", trial, s.Covered(), oracle.covered())
+		}
+		if s.Len() != oracle.rangeCount() {
+			t.Fatalf("trial %d: Len = %d, oracle %d (ranges %v)", trial, s.Len(), oracle.rangeCount(), s.Ranges())
+		}
+		for off := int64(-5); off < 330; off++ {
+			if s.Contains(off) != oracle[off] {
+				t.Fatalf("trial %d: Contains(%d) = %v, oracle %v", trial, off, s.Contains(off), oracle[off])
+			}
+		}
+	}
+}
+
+// Property: covered bytes never exceed the span and never decrease.
+func TestIntervalSetMonotoneCoverage(t *testing.T) {
+	f := func(ops []struct {
+		Start uint16
+		Size  uint8
+	}) bool {
+		s := NewIntervalSet()
+		var prev int64
+		for _, op := range ops {
+			size := int64(op.Size%32) + 1
+			if err := s.Add(int64(op.Start), size); err != nil {
+				return false
+			}
+			if s.Covered() < prev {
+				return false
+			}
+			prev = s.Covered()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

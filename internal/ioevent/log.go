@@ -1,0 +1,153 @@
+package ioevent
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Event log: a compact, append-only binary record of audited system
+// calls — the "data store" Kondo's interposer records system-call
+// arguments into (paper §V Implementation). A log can be replayed into
+// a Store later, decoupling audit capture from offset-range analysis
+// (and letting the debloated container's runtime reuse the audited
+// information, §VI).
+//
+// Format: "KLOG" magic, u16 version, then per record:
+//
+//	u8 op | u32 pid | u16 fileLen | file bytes | i64 offset | i64 size
+//
+// all little-endian.
+
+// logMagic starts every event log.
+const logMagic = "KLOG"
+
+// logVersion is the current log format version.
+const logVersion uint16 = 1
+
+// LogWriter appends events to an underlying writer.
+type LogWriter struct {
+	w       *bufio.Writer
+	started bool
+}
+
+// NewLogWriter returns a LogWriter over w. The header is written
+// lazily on the first Append, so an unused writer leaves no bytes.
+func NewLogWriter(w io.Writer) *LogWriter {
+	return &LogWriter{w: bufio.NewWriter(w)}
+}
+
+// Append writes one event record.
+func (lw *LogWriter) Append(e Event) error {
+	if !lw.started {
+		if _, err := lw.w.WriteString(logMagic); err != nil {
+			return fmt.Errorf("ioevent: log header: %w", err)
+		}
+		if err := binary.Write(lw.w, binary.LittleEndian, logVersion); err != nil {
+			return fmt.Errorf("ioevent: log header: %w", err)
+		}
+		lw.started = true
+	}
+	if len(e.ID.File) > 0xFFFF {
+		return fmt.Errorf("ioevent: file name too long (%d bytes)", len(e.ID.File))
+	}
+	if err := firstErr(
+		lw.w.WriteByte(byte(e.Op)),
+		binary.Write(lw.w, binary.LittleEndian, uint32(e.ID.PID)),
+		binary.Write(lw.w, binary.LittleEndian, uint16(len(e.ID.File))),
+	); err != nil {
+		return fmt.Errorf("ioevent: log append: %w", err)
+	}
+	if _, err := lw.w.WriteString(e.ID.File); err != nil {
+		return fmt.Errorf("ioevent: log append: %w", err)
+	}
+	if err := firstErr(
+		binary.Write(lw.w, binary.LittleEndian, e.Offset),
+		binary.Write(lw.w, binary.LittleEndian, e.Size),
+	); err != nil {
+		return fmt.Errorf("ioevent: log append: %w", err)
+	}
+	return nil
+}
+
+// Flush writes any buffered records through to the underlying writer.
+func (lw *LogWriter) Flush() error {
+	return lw.w.Flush()
+}
+
+// ReadLog iterates the events of a log, calling fn for each. It
+// returns an error for malformed input; an empty stream (no header) is
+// treated as an empty log.
+func ReadLog(r io.Reader, fn func(Event) error) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil // empty log
+		}
+		return fmt.Errorf("ioevent: log header: %w", err)
+	}
+	if string(magic) != logMagic {
+		return fmt.Errorf("ioevent: bad log magic %q", magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return fmt.Errorf("ioevent: log header: %w", err)
+	}
+	if version != logVersion {
+		return fmt.Errorf("ioevent: unsupported log version %d", version)
+	}
+	for {
+		opByte, err := br.ReadByte()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("ioevent: log record: %w", err)
+		}
+		var pid uint32
+		var fileLen uint16
+		if err := firstErr(
+			binary.Read(br, binary.LittleEndian, &pid),
+			binary.Read(br, binary.LittleEndian, &fileLen),
+		); err != nil {
+			return fmt.Errorf("ioevent: truncated log record: %w", err)
+		}
+		file := make([]byte, fileLen)
+		if _, err := io.ReadFull(br, file); err != nil {
+			return fmt.Errorf("ioevent: truncated log record: %w", err)
+		}
+		var off, size int64
+		if err := firstErr(
+			binary.Read(br, binary.LittleEndian, &off),
+			binary.Read(br, binary.LittleEndian, &size),
+		); err != nil {
+			return fmt.Errorf("ioevent: truncated log record: %w", err)
+		}
+		e := Event{
+			ID:     ID{PID: int(pid), File: string(file)},
+			Op:     Op(opByte),
+			Offset: off,
+			Size:   size,
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+}
+
+// Replay loads every event of a log into the store.
+func Replay(r io.Reader, s *Store) error {
+	return ReadLog(r, s.Record)
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

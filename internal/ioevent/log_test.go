@@ -1,0 +1,118 @@
+package ioevent
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{ID: ID{PID: 1, File: "mnist.sdf"}, Op: OpOpen},
+		{ID: ID{PID: 1, File: "mnist.sdf"}, Op: OpLseek, Offset: 16},
+		{ID: ID{PID: 1, File: "mnist.sdf"}, Op: OpRead, Offset: 16, Size: 128},
+		{ID: ID{PID: 2, File: "fuji.sdf"}, Op: OpRead, Offset: 0, Size: 64},
+		{ID: ID{PID: 1, File: "mnist.sdf"}, Op: OpClose},
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	lw := NewLogWriter(&buf)
+	want := sampleEvents()
+	for _, e := range want {
+		if err := lw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Event
+	if err := ReadLog(bytes.NewReader(buf.Bytes()), func(e Event) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLogReplayEqualsDirectRecording(t *testing.T) {
+	var buf bytes.Buffer
+	lw := NewLogWriter(&buf)
+	direct := NewStore()
+	for _, e := range sampleEvents() {
+		if err := lw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := direct.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed := NewStore()
+	if err := Replay(bytes.NewReader(buf.Bytes()), replayed); err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Events() != direct.Events() {
+		t.Errorf("event counts differ: %d vs %d", replayed.Events(), direct.Events())
+	}
+	for _, file := range direct.Files() {
+		a, b := direct.FileRanges(file), replayed.FileRanges(file)
+		if len(a) != len(b) {
+			t.Fatalf("%s: range counts differ", file)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: range %d differs: %v vs %v", file, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestReadLogEmptyAndMalformed(t *testing.T) {
+	// Empty input = empty log.
+	if err := ReadLog(strings.NewReader(""), func(Event) error { return nil }); err != nil {
+		t.Errorf("empty log: %v", err)
+	}
+	// Wrong magic.
+	if err := ReadLog(strings.NewReader("NOPE"), func(Event) error { return nil }); err == nil {
+		t.Error("bad magic should error")
+	}
+	// Truncated record.
+	var buf bytes.Buffer
+	lw := NewLogWriter(&buf)
+	if err := lw.Append(sampleEvents()[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if err := ReadLog(bytes.NewReader(trunc), func(Event) error { return nil }); err == nil {
+		t.Error("truncated record should error")
+	}
+}
+
+func TestLogUnusedWriterWritesNothing(t *testing.T) {
+	var buf bytes.Buffer
+	lw := NewLogWriter(&buf)
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("unused writer produced %d bytes", buf.Len())
+	}
+}

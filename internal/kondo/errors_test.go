@@ -1,0 +1,55 @@
+package kondo
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/workload"
+)
+
+func TestDebloatPropagatesConfigErrors(t *testing.T) {
+	p := workload.MustCS(2, 64)
+	cfg := DefaultConfig()
+	cfg.Fuzz.MaxIter = 0 // invalid
+	if _, err := Debloat(p, cfg); err == nil {
+		t.Error("invalid fuzz config should error")
+	}
+	cfg = DefaultConfig()
+	cfg.Carve.CellSize = -1
+	if _, err := Debloat(p, cfg); err == nil {
+		t.Error("invalid carve config should error")
+	}
+}
+
+func TestDebloatPropagatesEvaluatorErrors(t *testing.T) {
+	p := workload.MustCS(2, 64)
+	boom := fmt.Errorf("synthetic failure")
+	eval := func(v []float64) (*array.IndexSet, error) {
+		return nil, boom
+	}
+	cfg := DefaultConfig()
+	_, err := DebloatWithEvaluator(p.Params(), p.Space(), eval, cfg)
+	if err == nil {
+		t.Fatal("evaluator error should propagate")
+	}
+}
+
+func TestDebloatEmptyObservations(t *testing.T) {
+	// An evaluator that never finds anything: the pipeline must
+	// terminate with an empty approximation, not fail.
+	p := workload.MustCS(2, 64)
+	eval := func(v []float64) (*array.IndexSet, error) {
+		return array.NewIndexSet(p.Space()), nil
+	}
+	cfg := DefaultConfig()
+	cfg.Fuzz.StopIter = 30
+	res, err := DebloatWithEvaluator(p.Params(), p.Space(), eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approx.Empty() || len(res.Hulls) != 0 {
+		t.Errorf("empty observations produced %d hulls, %d indices",
+			len(res.Hulls), res.Approx.Len())
+	}
+}

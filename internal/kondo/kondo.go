@@ -1,0 +1,95 @@
+// Package kondo wires Kondo's pipeline together (paper Fig. 3): sample
+// initial parameter values from Θ, run audited debloat tests, expand
+// the observed index set with the fuzzing schedule, carve the
+// observations into a set of convex hulls, and rasterize the hulls
+// into the approximated index subset I'_Θ that the debloated data file
+// is built from.
+package kondo
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/carve"
+	"repro/internal/fuzz"
+	"repro/internal/hull"
+	"repro/internal/workload"
+)
+
+// Config configures one debloating run.
+type Config struct {
+	Fuzz  fuzz.Config
+	Carve carve.Config
+}
+
+// DefaultConfig returns the paper's §V-B configuration for both
+// stages.
+func DefaultConfig() Config {
+	return Config{Fuzz: fuzz.DefaultConfig(), Carve: carve.DefaultConfig()}
+}
+
+// Result is the outcome of one debloating run.
+type Result struct {
+	// Fuzz is the fuzzing campaign's outcome, including IS = ∪ I_v.
+	Fuzz *fuzz.Result
+	// Hulls is the carved hull set ℍ.
+	Hulls []*hull.Hull
+	// Approx is I'_Θ: the rasterized union of the hulls — the index
+	// subset the debloated file keeps.
+	Approx *array.IndexSet
+	// FuzzTime and CarveTime split the pipeline's wall-clock cost.
+	FuzzTime  time.Duration
+	CarveTime time.Duration
+}
+
+// Elapsed returns the total pipeline time.
+func (r *Result) Elapsed() time.Duration { return r.FuzzTime + r.CarveTime }
+
+// Debloat runs the full pipeline for a program using the virtual
+// debloat test (the paper's fuzz/carve methodology, §V-C).
+func Debloat(p workload.Program, cfg Config) (*Result, error) {
+	f, err := fuzz.ForProgram(p, cfg.Fuzz)
+	if err != nil {
+		return nil, err
+	}
+	return debloat(f, p.Space(), cfg)
+}
+
+// DebloatWithEvaluator runs the pipeline against a custom debloat-test
+// evaluator (e.g. one auditing real file I/O through the trace layer).
+func DebloatWithEvaluator(params workload.ParamSpace, space array.Space, eval fuzz.Evaluator, cfg Config) (*Result, error) {
+	f, err := fuzz.New(params, space, eval, cfg.Fuzz)
+	if err != nil {
+		return nil, err
+	}
+	return debloat(f, space, cfg)
+}
+
+func debloat(f *fuzz.Fuzzer, space array.Space, cfg Config) (*Result, error) {
+	fuzzStart := time.Now()
+	fres, err := f.Run()
+	if err != nil {
+		return nil, fmt.Errorf("kondo: fuzzing: %w", err)
+	}
+	fuzzTime := time.Since(fuzzStart)
+
+	carveStart := time.Now()
+	hulls, err := carve.Carve(fres.Indices, cfg.Carve)
+	if err != nil {
+		return nil, fmt.Errorf("kondo: carving: %w", err)
+	}
+	approx, err := carve.Rasterize(hulls, space)
+	if err != nil {
+		return nil, fmt.Errorf("kondo: rasterizing: %w", err)
+	}
+	carveTime := time.Since(carveStart)
+
+	return &Result{
+		Fuzz:      fres,
+		Hulls:     hulls,
+		Approx:    approx,
+		FuzzTime:  fuzzTime,
+		CarveTime: carveTime,
+	}, nil
+}

@@ -1,0 +1,113 @@
+// Package metrics computes the evaluation measures of paper §V-C:
+// precision and recall of the approximated index subset I'_Θ against
+// the ground truth I_Θ, the identified bloat fraction (Fig. 9), and
+// the missed-access valuation rate of §V-D1.
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/array"
+	"repro/internal/workload"
+)
+
+// PR bundles precision and recall of an approximated index subset.
+type PR struct {
+	Precision float64
+	Recall    float64
+}
+
+// Precision returns |I_Θ ∩ I'_Θ| / |I'_Θ|: the fraction of the carved
+// subset that actually appears in the ground truth. An empty
+// approximation has precision 1 by convention (it includes nothing
+// wasteful).
+func Precision(truth, approx *array.IndexSet) float64 {
+	if approx.Len() == 0 {
+		return 1
+	}
+	return float64(truth.IntersectLen(approx)) / float64(approx.Len())
+}
+
+// Recall returns |I_Θ ∩ I'_Θ| / |I_Θ|: the fraction of the ground
+// truth captured by the approximation. A recall of 1 signifies
+// soundness. An empty ground truth has recall 1 by convention.
+func Recall(truth, approx *array.IndexSet) float64 {
+	if truth.Len() == 0 {
+		return 1
+	}
+	return float64(truth.IntersectLen(approx)) / float64(truth.Len())
+}
+
+// Evaluate returns both measures.
+func Evaluate(truth, approx *array.IndexSet) PR {
+	return PR{Precision: Precision(truth, approx), Recall: Recall(truth, approx)}
+}
+
+// BloatFraction returns |I − S| / |I|: the fraction of the full index
+// space a subset identifies as bloat (never accessed). Applied to
+// I'_Θ it is Kondo's identified bloat; applied to I_Θ it is the
+// ground-truth bloat (Fig. 9).
+func BloatFraction(space array.Space, subset *array.IndexSet) float64 {
+	total := float64(space.Size())
+	return (total - float64(subset.Len())) / total
+}
+
+// MissedValuationRate estimates the fraction of parameter valuations
+// v ∈ Θ whose run would touch at least one index missing from the
+// approximation — the §V-D1 measure of how often a user hits the
+// "data missing" exception. If |Θ| is at most exhaustLimit every
+// valuation is checked; otherwise sampleSize valuations are drawn
+// uniformly (seeded for reproducibility).
+func MissedValuationRate(p workload.Program, approx *array.IndexSet, exhaustLimit int64, sampleSize int, seed int64) (float64, error) {
+	params := p.Params()
+	missed, total := 0, 0
+
+	check := func(v []float64) error {
+		iv, err := workload.RunOnVirtual(p, v)
+		if err != nil {
+			return err
+		}
+		total++
+		ok := true
+		iv.EachLinear(func(lin int64) bool {
+			if !approx.ContainsLinear(lin) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			missed++
+		}
+		return nil
+	}
+
+	if params.Valuations() <= exhaustLimit {
+		var runErr error
+		params.EachValuation(func(v []float64) bool {
+			if err := check(v); err != nil {
+				runErr = err
+				return false
+			}
+			return true
+		})
+		if runErr != nil {
+			return 0, runErr
+		}
+	} else {
+		if sampleSize <= 0 {
+			return 0, fmt.Errorf("metrics: sampleSize must be positive for sampled estimation")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < sampleSize; i++ {
+			if err := check(params.Sample(rng)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("metrics: no valuations checked")
+	}
+	return float64(missed) / float64(total), nil
+}

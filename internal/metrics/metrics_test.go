@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/workload"
+)
+
+func setOf(space array.Space, lins ...int64) *array.IndexSet {
+	s := array.NewIndexSet(space)
+	for _, l := range lins {
+		s.AddLinear(l)
+	}
+	return s
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	sp := array.MustSpace(10, 10)
+	truth := setOf(sp, 0, 1, 2, 3)
+	approx := setOf(sp, 2, 3, 4, 5)
+
+	if p := Precision(truth, approx); p != 0.5 {
+		t.Errorf("Precision = %v, want 0.5", p)
+	}
+	if r := Recall(truth, approx); r != 0.5 {
+		t.Errorf("Recall = %v, want 0.5", r)
+	}
+	pr := Evaluate(truth, approx)
+	if pr.Precision != 0.5 || pr.Recall != 0.5 {
+		t.Errorf("Evaluate = %+v", pr)
+	}
+
+	// Perfect approximation.
+	pr = Evaluate(truth, truth.Clone())
+	if pr.Precision != 1 || pr.Recall != 1 {
+		t.Errorf("perfect Evaluate = %+v", pr)
+	}
+
+	// Conventions for empty sets.
+	empty := array.NewIndexSet(sp)
+	if Precision(truth, empty) != 1 {
+		t.Error("empty approximation should have precision 1")
+	}
+	if Recall(empty, approx) != 1 {
+		t.Error("empty truth should have recall 1")
+	}
+}
+
+func TestBloatFraction(t *testing.T) {
+	sp := array.MustSpace(10, 10)
+	subset := setOf(sp, 0, 1, 2, 3, 4) // 5 of 100
+	if b := BloatFraction(sp, subset); math.Abs(b-0.95) > 1e-12 {
+		t.Errorf("BloatFraction = %v, want 0.95", b)
+	}
+	if b := BloatFraction(sp, array.NewIndexSet(sp)); b != 1 {
+		t.Errorf("empty subset bloat = %v, want 1", b)
+	}
+}
+
+func TestMissedValuationRateExhaustive(t *testing.T) {
+	p := workload.MustCS(2, 32)
+	truth, err := workload.GroundTruth(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the full truth, nothing is missed.
+	rate, err := MissedValuationRate(p, truth, 1<<20, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0 {
+		t.Errorf("full-truth missed rate = %v, want 0", rate)
+	}
+	// Remove the origin block, which every useful run touches: every
+	// useful valuation now misses.
+	crippled := truth.Clone()
+	// Rebuild without (0,0).
+	without := array.NewIndexSet(p.Space())
+	crippled.Each(func(ix array.Index) bool {
+		if !(ix[0] == 0 && ix[1] == 0) {
+			without.Add(ix)
+		}
+		return true
+	})
+	rate, err = MissedValuationRate(p, without, 1<<20, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid fraction for CS2 on 32x32: stepX <= stepY pairs over
+	// [0,31]^2 = 528/1024.
+	want := 528.0 / 1024.0
+	if math.Abs(rate-want) > 1e-12 {
+		t.Errorf("missed rate = %v, want %v", rate, want)
+	}
+}
+
+func TestMissedValuationRateSampled(t *testing.T) {
+	p := workload.MustCS(2, 128)
+	truth, err := workload.GroundTruth(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the sampled path with a tiny exhaustLimit.
+	rate, err := MissedValuationRate(p, truth, 10, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0 {
+		t.Errorf("sampled full-truth missed rate = %v, want 0", rate)
+	}
+	// Sampled path requires a positive sample size.
+	if _, err := MissedValuationRate(p, truth, 10, 0, 42); err == nil {
+		t.Error("zero sampleSize on sampled path should error")
+	}
+}

@@ -1,0 +1,184 @@
+// Package remote implements the missing-data recovery path sketched in
+// paper §VI: "a container runtime can use audited information to pull
+// missing data offsets from a remote server, when requested." A Server
+// exposes the original (un-debloated) data file over HTTP; the Client
+// is a debloat.Fetcher that resolves data-missing exceptions by
+// fetching individual elements from it.
+//
+// Wire protocol (JSON over HTTP):
+//
+//	GET /element?dataset=<name>&index=i1,i2,...   → {"value": <float64>}
+//	GET /datasets                                 → {"datasets": [...]}
+//
+// Errors come back as HTTP status codes with a JSON {"error": ...}
+// body.
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/array"
+	"repro/internal/sdf"
+)
+
+// Server serves element reads from an origin sdf file.
+type Server struct {
+	mu   sync.Mutex
+	file *sdf.File
+}
+
+// NewServer opens the origin file and returns a server over it.
+func NewServer(originPath string) (*Server, error) {
+	f, err := sdf.Open(originPath)
+	if err != nil {
+		return nil, fmt.Errorf("remote: opening origin: %w", err)
+	}
+	return &Server{file: f}, nil
+}
+
+// Close releases the origin file.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	err := s.file.Close()
+	s.file = nil
+	return err
+}
+
+// Handler returns the HTTP handler exposing the protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/element", s.handleElement)
+	mux.HandleFunc("/datasets", s.handleDatasets)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("origin closed"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"datasets": s.file.Names()})
+}
+
+func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) {
+	dataset := r.URL.Query().Get("dataset")
+	indexArg := r.URL.Query().Get("index")
+	if dataset == "" || indexArg == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("dataset and index query parameters required"))
+		return
+	}
+	ix, err := parseIndex(indexArg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("origin closed"))
+		return
+	}
+	ds, err := s.file.Dataset(dataset)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	v, err := ds.ReadElement(ix)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"value": v})
+}
+
+func parseIndex(s string) (array.Index, error) {
+	parts := strings.Split(s, ",")
+	ix := make(array.Index, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("remote: bad index component %q", p)
+		}
+		ix[i] = v
+	}
+	return ix, nil
+}
+
+// Client fetches missing elements over HTTP. It implements
+// debloat.Fetcher.
+type Client struct {
+	baseURL string
+	http    *http.Client
+
+	mu      sync.Mutex
+	fetched int64
+}
+
+// NewClient returns a client against the server's base URL (e.g.
+// "http://127.0.0.1:8080"). A nil httpClient uses
+// http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{baseURL: strings.TrimSuffix(baseURL, "/"), http: httpClient}
+}
+
+// Fetched returns how many elements the client has pulled.
+func (c *Client) Fetched() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fetched
+}
+
+// Fetch implements debloat.Fetcher by requesting one element.
+func (c *Client) Fetch(dataset string, ix array.Index) (float64, error) {
+	parts := make([]string, len(ix))
+	for i, v := range ix {
+		parts[i] = strconv.Itoa(v)
+	}
+	url := fmt.Sprintf("%s/element?dataset=%s&index=%s", c.baseURL, dataset, strings.Join(parts, ","))
+	resp, err := c.http.Get(url)
+	if err != nil {
+		return 0, fmt.Errorf("remote: fetch %v: %w", ix, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return 0, fmt.Errorf("remote: fetch %v: server says %s (%s)", ix, resp.Status, e.Error)
+	}
+	var out struct {
+		Value float64 `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("remote: decoding response: %w", err)
+	}
+	c.mu.Lock()
+	c.fetched++
+	c.mu.Unlock()
+	return out.Value, nil
+}

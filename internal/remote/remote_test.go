@@ -1,0 +1,174 @@
+package remote
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/debloat"
+	"repro/internal/sdf"
+	"repro/internal/workload"
+)
+
+func writeOrigin(t *testing.T) (path string, space array.Space) {
+	t.Helper()
+	space = array.MustSpace(32, 32)
+	path = filepath.Join(t.TempDir(), "origin.sdf")
+	w := sdf.NewWriter(path)
+	dw, err := w.CreateDataset("data", space, array.Float64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Fill(func(ix array.Index) float64 {
+		lin, _ := space.Linear(ix)
+		return float64(lin) * 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, space
+}
+
+func TestServerClientFetch(t *testing.T) {
+	origin, space := writeOrigin(t)
+	srv, err := NewServer(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := NewClient(ts.URL, nil)
+	v, err := client.Fetch("data", array.NewIndex(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, _ := space.Linear(array.NewIndex(3, 4))
+	if v != float64(lin)*2 {
+		t.Errorf("fetched %v, want %v", v, float64(lin)*2)
+	}
+	if client.Fetched() != 1 {
+		t.Errorf("Fetched = %d", client.Fetched())
+	}
+
+	// Errors: unknown dataset, bad index, out-of-bounds.
+	if _, err := client.Fetch("nope", array.NewIndex(0, 0)); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	if _, err := client.Fetch("data", array.NewIndex(99, 99)); err == nil {
+		t.Error("out-of-bounds index should error")
+	}
+}
+
+// TestRuntimeRecoversOverHTTP is the §VI scenario end-to-end: a
+// debloated file misses an element, and the runtime pulls it from the
+// remote origin server.
+func TestRuntimeRecoversOverHTTP(t *testing.T) {
+	origin, space := writeOrigin(t)
+
+	// Debloat to the CS2 truth of the 32x32 program; then access an
+	// index outside it.
+	p := workload.MustCS(2, 32)
+	truth, err := workload.GroundTruth(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deb := filepath.Join(t.TempDir(), "deb.sdf")
+	if _, err := debloat.WriteSubset(origin, deb, "data", truth, []int{8, 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := NewServer(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL, nil)
+
+	f, err := sdf.Open(deb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, _ := f.Dataset("data")
+	rt := debloat.NewRuntime(ds, client)
+
+	// (31, 0) is below the diagonal: carved away.
+	missing := array.NewIndex(31, 0)
+	if truth.Contains(missing) {
+		t.Fatal("test premise broken: index is in truth")
+	}
+	v, err := rt.ReadElement(missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, _ := space.Linear(missing)
+	if v != float64(lin)*2 {
+		t.Errorf("recovered %v, want %v", v, float64(lin)*2)
+	}
+	if rt.Misses() != 1 || client.Fetched() != 1 {
+		t.Errorf("misses=%d fetched=%d, want 1/1", rt.Misses(), client.Fetched())
+	}
+}
+
+func TestDatasetsEndpoint(t *testing.T) {
+	origin, _ := writeOrigin(t)
+	srv, err := NewServer(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// Missing query params on /element.
+	resp2, err := ts.Client().Get(ts.URL + "/element")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 400 {
+		t.Errorf("missing params status = %d, want 400", resp2.StatusCode)
+	}
+	// Malformed index.
+	resp3, err := ts.Client().Get(ts.URL + "/element?dataset=data&index=a,b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != 400 {
+		t.Errorf("malformed index status = %d, want 400", resp3.StatusCode)
+	}
+}
+
+func TestClosedServer(t *testing.T) {
+	origin, _ := writeOrigin(t)
+	srv, err := NewServer(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Close()
+	if err := srv.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	client := NewClient(ts.URL+"/", nil) // trailing slash is trimmed
+	if _, err := client.Fetch("data", array.NewIndex(0, 0)); err == nil {
+		t.Error("closed server should error")
+	}
+}

@@ -1,0 +1,47 @@
+package sdf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dataset attributes: small string key/value pairs carried in the
+// file's metadata block, mirroring HDF5 attributes. Kondo's debloat
+// step stamps the carved file with provenance attributes (tool,
+// configuration, source digest) so a runtime — or a human — can tell
+// how the subset was produced without a sidecar file.
+
+// maxAttrLen bounds attribute keys and values.
+const maxAttrLen = 0xFFFF
+
+// SetAttr attaches an attribute to the staged dataset, replacing any
+// previous value for the key.
+func (dw *DatasetWriter) SetAttr(key, value string) error {
+	if key == "" {
+		return fmt.Errorf("sdf: empty attribute key")
+	}
+	if len(key) > maxAttrLen || len(value) > maxAttrLen {
+		return fmt.Errorf("sdf: attribute %q too long", key)
+	}
+	if dw.sd.meta.Attrs == nil {
+		dw.sd.meta.Attrs = make(map[string]string)
+	}
+	dw.sd.meta.Attrs[key] = value
+	return nil
+}
+
+// Attr returns the value of a dataset attribute and whether it exists.
+func (d *Dataset) Attr(key string) (string, bool) {
+	v, ok := d.meta.Attrs[key]
+	return v, ok
+}
+
+// AttrKeys returns the dataset's attribute keys, sorted.
+func (d *Dataset) AttrKeys() []string {
+	keys := make([]string, 0, len(d.meta.Attrs))
+	for k := range d.meta.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,99 @@
+package sdf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/array"
+)
+
+func TestAttributesRoundTrip(t *testing.T) {
+	space := array.MustSpace(4, 4)
+	path := filepath.Join(t.TempDir(), "attrs.sdf")
+	w := NewWriter(path)
+	dw, err := w.CreateDataset("d", space, array.Float64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Fill(func(array.Index) float64 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	attrs := map[string]string{
+		"kondo.tool":   "kondo-repro",
+		"kondo.config": "u_reps=8 n_reps=5",
+		"kondo.hulls":  "3",
+		"units":        "kelvin",
+		"long.value":   strings.Repeat("x", 1000),
+	}
+	for k, v := range attrs {
+		if err := dw.SetAttr(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite one.
+	if err := dw.SetAttr("units", "celsius"); err != nil {
+		t.Fatal(err)
+	}
+	attrs["units"] = "celsius"
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := f.Dataset("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := ds.AttrKeys()
+	if len(keys) != len(attrs) {
+		t.Fatalf("AttrKeys = %v, want %d keys", keys, len(attrs))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Error("AttrKeys not sorted")
+		}
+	}
+	for k, want := range attrs {
+		got, ok := ds.Attr(k)
+		if !ok || got != want {
+			t.Errorf("Attr(%q) = %q, %v; want %q", k, got, ok, want)
+		}
+	}
+	if _, ok := ds.Attr("missing"); ok {
+		t.Error("missing attribute reported present")
+	}
+}
+
+func TestAttributeValidation(t *testing.T) {
+	w := NewWriter(filepath.Join(t.TempDir(), "x.sdf"))
+	dw, err := w.CreateDataset("d", array.MustSpace(2, 2), array.Float64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.SetAttr("", "v"); err == nil {
+		t.Error("empty key should error")
+	}
+	if err := dw.SetAttr("k", strings.Repeat("v", maxAttrLen+1)); err == nil {
+		t.Error("oversized value should error")
+	}
+}
+
+func TestNoAttributesIsCompatible(t *testing.T) {
+	// Datasets without attributes read back with none.
+	space := array.MustSpace(2, 2)
+	path := writeTestFile(t, "d", space, array.Float64, nil, func(array.Index) float64 { return 0 })
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, _ := f.Dataset("d")
+	if len(ds.AttrKeys()) != 0 {
+		t.Errorf("unexpected attributes: %v", ds.AttrKeys())
+	}
+}

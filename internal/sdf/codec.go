@@ -1,0 +1,51 @@
+package sdf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/array"
+)
+
+// encodeValue writes one element value into dst (which must be at
+// least dt.Size() bytes) according to the dataset's element type. The
+// API surfaces all values as float64; integer types truncate, and
+// LongDouble stores the float64 payload in the low 8 bytes with zero
+// padding so the on-disk element size is 16 bytes as in the paper.
+func encodeValue(dst []byte, dt array.DType, v float64) {
+	switch dt {
+	case array.Float32:
+		binary.LittleEndian.PutUint32(dst, math.Float32bits(float32(v)))
+	case array.Float64:
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(v))
+	case array.Int32:
+		binary.LittleEndian.PutUint32(dst, uint32(int32(v)))
+	case array.Int64:
+		binary.LittleEndian.PutUint64(dst, uint64(int64(v)))
+	case array.LongDouble:
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(v))
+		binary.LittleEndian.PutUint64(dst[8:], 0)
+	default:
+		panic(fmt.Sprintf("sdf: encode of invalid dtype %d", dt))
+	}
+}
+
+// decodeValue reads one element value from src according to the
+// element type.
+func decodeValue(src []byte, dt array.DType) float64 {
+	switch dt {
+	case array.Float32:
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(src)))
+	case array.Float64:
+		return math.Float64frombits(binary.LittleEndian.Uint64(src))
+	case array.Int32:
+		return float64(int32(binary.LittleEndian.Uint32(src)))
+	case array.Int64:
+		return float64(int64(binary.LittleEndian.Uint64(src)))
+	case array.LongDouble:
+		return math.Float64frombits(binary.LittleEndian.Uint64(src))
+	default:
+		panic(fmt.Sprintf("sdf: decode of invalid dtype %d", dt))
+	}
+}

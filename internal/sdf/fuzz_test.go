@@ -1,0 +1,128 @@
+package sdf
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/array"
+)
+
+// TestOpenNeverPanicsOnCorruptInput flips random bytes of a valid file
+// and checks that Open either fails cleanly or yields a readable file
+// — never panics. The CRC catches metadata damage; damage to the data
+// region is indistinguishable from valid data by design (values are
+// opaque), so a successful open is acceptable there.
+func TestOpenNeverPanicsOnCorruptInput(t *testing.T) {
+	space := array.MustSpace(8, 8)
+	path := writeTestFile(t, "d", space, array.Float64, []int{4, 4}, linValue(space))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	dir := t.TempDir()
+	for trial := 0; trial < 200; trial++ {
+		corrupted := append([]byte(nil), orig...)
+		flips := 1 + rng.Intn(4)
+		for i := 0; i < flips; i++ {
+			pos := rng.Intn(len(corrupted))
+			corrupted[pos] ^= byte(1 + rng.Intn(255))
+		}
+		p := filepath.Join(dir, "c.sdf")
+		if err := os.WriteFile(p, corrupted, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on corrupt input: %v", trial, r)
+				}
+			}()
+			f, err := Open(p)
+			if err != nil {
+				return // clean rejection
+			}
+			// If it opened, reading must not panic either.
+			for _, name := range f.Names() {
+				ds, err := f.Dataset(name)
+				if err != nil {
+					continue
+				}
+				ds.ReadElement(array.NewIndex(0, 0))
+				ds.ReadHyperslab(Slab([]int{0, 0}, []int{2, 2}))
+			}
+			f.Close()
+		}()
+	}
+}
+
+// TestOpenNeverPanicsOnTruncation truncates a valid file at every
+// length and checks Open fails cleanly.
+func TestOpenNeverPanicsOnTruncation(t *testing.T) {
+	space := array.MustSpace(4, 4)
+	path := writeTestFile(t, "d", space, array.Float64, nil, linValue(space))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	step := len(orig)/64 + 1
+	for cut := 0; cut < len(orig); cut += step {
+		p := filepath.Join(dir, "t.sdf")
+		if err := os.WriteFile(p, orig[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut %d: panic: %v", cut, r)
+				}
+			}()
+			if f, err := Open(p); err == nil {
+				f.Close()
+			}
+		}()
+	}
+}
+
+// TestConcurrentReaders exercises parallel element reads on one open
+// file; ReadAt is stateless, so this must be race-free (run with
+// -race).
+func TestConcurrentReaders(t *testing.T) {
+	space := array.MustSpace(16, 16)
+	path := writeTestFile(t, "d", space, array.Float64, []int{4, 4}, linValue(space))
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, _ := f.Dataset("d")
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 200; i++ {
+				lin := int64((g*200 + i) % 256)
+				ix, _ := space.Unlinear(lin)
+				v, err := ds.ReadElement(ix)
+				if err != nil {
+					done <- err
+					return
+				}
+				if v != float64(lin) {
+					done <- errValue
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errValue = os.ErrInvalid

@@ -1,0 +1,178 @@
+package sdf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/array"
+)
+
+func TestSlabConstructor(t *testing.T) {
+	h := Slab([]int{2, 3}, []int{4, 5})
+	s := array.MustSpace(10, 10)
+	if err := h.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.NumElements(); n != 20 {
+		t.Errorf("NumElements = %d, want 20", n)
+	}
+	seen := 0
+	h.Each(func(ix array.Index) bool {
+		if ix[0] < 2 || ix[0] > 5 || ix[1] < 3 || ix[1] > 7 {
+			t.Fatalf("index %v outside slab", ix)
+		}
+		seen++
+		return true
+	})
+	if seen != 20 {
+		t.Errorf("Each visited %d, want 20", seen)
+	}
+}
+
+func TestHyperslabValidate(t *testing.T) {
+	s := array.MustSpace(10, 10)
+	cases := []struct {
+		name string
+		h    Hyperslab
+		ok   bool
+	}{
+		{"valid strided", Hyperslab{Start: []int{0, 0}, Stride: []int{2, 2}, Count: []int{5, 5}, Block: []int{1, 1}}, true},
+		{"rank mismatch", Hyperslab{Start: []int{0}, Stride: []int{1}, Count: []int{1}, Block: []int{1}}, false},
+		{"negative start", Hyperslab{Start: []int{-1, 0}, Stride: []int{1, 1}, Count: []int{1, 1}, Block: []int{1, 1}}, false},
+		{"zero count", Hyperslab{Start: []int{0, 0}, Stride: []int{1, 1}, Count: []int{0, 1}, Block: []int{1, 1}}, false},
+		{"zero stride", Hyperslab{Start: []int{0, 0}, Stride: []int{0, 1}, Count: []int{2, 1}, Block: []int{1, 1}}, false},
+		{"overlapping blocks", Hyperslab{Start: []int{0, 0}, Stride: []int{1, 1}, Count: []int{2, 1}, Block: []int{2, 1}}, false},
+		{"exceeds extent", Hyperslab{Start: []int{8, 0}, Stride: []int{1, 1}, Count: []int{1, 1}, Block: []int{3, 1}}, false},
+		{"touches last index", Hyperslab{Start: []int{8, 8}, Stride: []int{1, 1}, Count: []int{1, 1}, Block: []int{2, 2}}, true},
+	}
+	for _, c := range cases {
+		err := c.h.Validate(s)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestHyperslabEachStrided(t *testing.T) {
+	// 2 blocks of 2 along dim0 at stride 4: rows 0,1,4,5.
+	h := Hyperslab{Start: []int{0, 3}, Stride: []int{4, 1}, Count: []int{2, 1}, Block: []int{2, 1}}
+	var rows []int
+	h.Each(func(ix array.Index) bool {
+		rows = append(rows, ix[0])
+		if ix[1] != 3 {
+			t.Fatalf("col = %d, want 3", ix[1])
+		}
+		return true
+	})
+	want := []int{0, 1, 4, 5}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", rows, want)
+		}
+	}
+}
+
+func TestHyperslabEachEarlyStop(t *testing.T) {
+	h := Slab([]int{0, 0}, []int{5, 5})
+	n := 0
+	h.Each(func(array.Index) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+// Property: Each visits exactly NumElements distinct indices, all
+// valid under Validate's space.
+func TestHyperslabEachCountProperty(t *testing.T) {
+	s := array.MustSpace(32, 32)
+	f := func(st1, st2, c1, c2, b1, b2 uint8) bool {
+		h := Hyperslab{
+			Start:  []int{int(st1 % 4), int(st2 % 4)},
+			Stride: []int{int(b1%3) + int(c1%3) + 1, int(b2%3) + int(c2%3) + 1},
+			Count:  []int{int(c1%3) + 1, int(c2%3) + 1},
+			Block:  []int{int(b1%3) + 1, int(b2%3) + 1},
+		}
+		if err := h.Validate(s); err != nil {
+			return true // constructed selection out of bounds; skip
+		}
+		seen := map[[2]int]bool{}
+		h.Each(func(ix array.Index) bool {
+			seen[[2]int{ix[0], ix[1]}] = true
+			return true
+		})
+		return int64(len(seen)) == h.NumElements()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadHyperslabValuesAndCoalescing(t *testing.T) {
+	space := array.MustSpace(8, 8)
+	path := writeTestFile(t, "d", space, array.Float64, nil, linValue(space))
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, _ := f.Dataset("d")
+
+	// A dense 3x4 slab: values must come back in row-major order.
+	vals, err := ds.ReadHyperslab(Slab([]int{2, 1}, []int{3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 12 {
+		t.Fatalf("got %d values", len(vals))
+	}
+	k := 0
+	for r := 2; r < 5; r++ {
+		for c := 1; c < 5; c++ {
+			if vals[k] != float64(r*8+c) {
+				t.Fatalf("vals[%d] = %v, want %v", k, vals[k], r*8+c)
+			}
+			k++
+		}
+	}
+
+	// Invalid selection errors.
+	if _, err := ds.ReadHyperslab(Slab([]int{7, 7}, []int{3, 3})); err == nil {
+		t.Error("out-of-bounds hyperslab should error")
+	}
+}
+
+func TestReadHyperslabOnDebloatedMissing(t *testing.T) {
+	space := array.MustSpace(8, 8)
+	path := t.TempDir() + "/d.sdf"
+	w := NewWriter(path)
+	dw, err := w.CreateDataset("d", space, array.Float64, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Fill(linValue(space)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.OmitChunksExcept(map[int64]bool{0: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, _ := f.Dataset("d")
+	// Fully inside the kept chunk: fine.
+	if _, err := ds.ReadHyperslab(Slab([]int{0, 0}, []int{4, 4})); err != nil {
+		t.Errorf("read inside kept chunk: %v", err)
+	}
+	// Crossing into a carved chunk: data missing.
+	if _, err := ds.ReadHyperslab(Slab([]int{0, 0}, []int{4, 8})); !isDataMissing(err) {
+		t.Errorf("read crossing carved chunk = %v, want ErrDataMissing", err)
+	}
+}

@@ -1,0 +1,122 @@
+package sdf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/array"
+)
+
+// Packed layout: element-granular debloating. Where the chunked layout
+// keeps or drops whole chunks, a packed dataset stores exactly the
+// approved elements, as runs of consecutive row-major linear positions
+// packed back to back. This realizes offset-level debloating at its
+// finest granularity — the paper's §VI observes that chunks are the
+// practical unit of access, but the format supports both so the
+// granularity trade-off is measurable (see the debloat package's
+// benchmarks).
+//
+// On-disk metadata per run: the starting linear position, the run
+// length in elements, and the absolute file offset of the run's first
+// element.
+
+// packRun is one maximal run of kept consecutive linear positions.
+type packRun struct {
+	startLin int64 // first row-major linear element position
+	count    int64 // elements in the run
+	off      int64 // absolute file offset of the run's data
+}
+
+// packRunsFromSet converts a kept-index set into sorted, coalesced
+// runs (offsets unassigned).
+func packRunsFromSet(keep *array.IndexSet) []packRun {
+	lins := make([]int64, 0, keep.Len())
+	keep.EachLinear(func(lin int64) bool {
+		lins = append(lins, lin)
+		return true
+	})
+	sort.Slice(lins, func(i, j int) bool { return lins[i] < lins[j] })
+	var runs []packRun
+	for _, lin := range lins {
+		if n := len(runs); n > 0 && runs[n-1].startLin+runs[n-1].count == lin {
+			runs[n-1].count++
+			continue
+		}
+		runs = append(runs, packRun{startLin: lin, count: 1})
+	}
+	return runs
+}
+
+// PackElements switches the staged dataset to the packed layout,
+// keeping exactly the elements of keep. The dataset must have been
+// created contiguous (chunk shape nil); the packed run table replaces
+// the chunk table.
+func (dw *DatasetWriter) PackElements(keep *array.IndexSet) error {
+	sd := dw.sd
+	if sd.meta.Layout != layoutContiguous {
+		return fmt.Errorf("sdf: PackElements requires a contiguous staged dataset, %q is %v",
+			sd.meta.Name, sd.meta.Layout)
+	}
+	if keep.Space().Size() != sd.space.Size() {
+		return fmt.Errorf("sdf: keep set space %v does not match dataset space %v",
+			keep.Space(), sd.space)
+	}
+	sd.packedRuns = packRunsFromSet(keep)
+	sd.meta.Layout = layoutPacked
+	sd.meta.Debloated = true
+	return nil
+}
+
+// packedIndex provides binary-searched lookups over a dataset's runs.
+type packedIndex struct {
+	runs []packRun // sorted by startLin; offsets ascend in the same order
+	elem int64
+}
+
+// fileOffset maps a linear element position to its stored offset, or
+// ErrDataMissing.
+func (pi *packedIndex) fileOffset(lin int64) (int64, error) {
+	i := sort.Search(len(pi.runs), func(i int) bool {
+		return pi.runs[i].startLin+pi.runs[i].count > lin
+	})
+	if i >= len(pi.runs) || lin < pi.runs[i].startLin {
+		return 0, fmt.Errorf("%w: linear position %d", ErrDataMissing, lin)
+	}
+	r := pi.runs[i]
+	return r.off + (lin-r.startLin)*pi.elem, nil
+}
+
+// linAt is the inverse: it maps an absolute file offset back to the
+// linear element position stored there.
+func (pi *packedIndex) linAt(abs int64) (int64, error) {
+	i := sort.Search(len(pi.runs), func(i int) bool {
+		return pi.runs[i].off+pi.runs[i].count*pi.elem > abs
+	})
+	if i >= len(pi.runs) || abs < pi.runs[i].off {
+		return 0, fmt.Errorf("sdf: offset %d not within any packed run", abs)
+	}
+	r := pi.runs[i]
+	rel := abs - r.off
+	if rel%pi.elem != 0 {
+		return 0, fmt.Errorf("sdf: offset %d not element-aligned", abs)
+	}
+	return r.startLin + rel/pi.elem, nil
+}
+
+// regions returns the stored data regions, one per run.
+func (pi *packedIndex) regions() []Region {
+	out := make([]Region, len(pi.runs))
+	for i, r := range pi.runs {
+		out[i] = Region{Off: r.off, Len: r.count * pi.elem}
+	}
+	return out
+}
+
+// storedBytes returns the packed data size.
+func (pi *packedIndex) storedBytes() int64 {
+	var total int64
+	for _, r := range pi.runs {
+		total += r.count * pi.elem
+	}
+	return total
+}

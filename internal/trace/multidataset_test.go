@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/ioevent"
+	"repro/internal/sdf"
+)
+
+// TestResolveSeparatesDatasets audits a file holding two datasets and
+// checks that offset→index resolution attributes each access to the
+// right dataset — the self-describing-metadata property the paper's
+// §IV-C mapping depends on (multiple data arrays per file, footnote 1).
+func TestResolveSeparatesDatasets(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "multi.sdf")
+	spaceA := array.MustSpace(8, 8)
+	spaceB := array.MustSpace(6, 6, 6)
+
+	w := sdf.NewWriter(path)
+	da, err := w.CreateDataset("alpha", spaceA, array.Float64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := da.Fill(func(array.Index) float64 { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	db, err := w.CreateDataset("beta", spaceB, array.Float32, []int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Fill(func(array.Index) float64 { return 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store := ioevent.NewStore()
+	tr := NewTracer(store)
+	tf, err := tr.Open(tr.NewProcess(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sdf.OpenFrom(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	dsA, err := f.Dataset("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsB, err := f.Dataset("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read 3 elements of alpha and 2 of beta.
+	for _, ix := range []array.Index{
+		array.NewIndex(0, 0), array.NewIndex(3, 3), array.NewIndex(7, 7),
+	} {
+		if _, err := dsA.ReadElement(ix); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ix := range []array.Index{
+		array.NewIndex(1, 1, 1), array.NewIndex(5, 5, 5),
+	} {
+		if _, err := dsB.ReadElement(ix); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	name := filepath.Base(path)
+	setA, err := AccessedIndices(store, name, dsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setB, err := AccessedIndices(store, name, dsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setA.Len() != 3 {
+		t.Errorf("alpha resolved %d indices, want 3", setA.Len())
+	}
+	if setB.Len() != 2 {
+		t.Errorf("beta resolved %d indices, want 2", setB.Len())
+	}
+	if !setA.Contains(array.NewIndex(3, 3)) {
+		t.Error("alpha missing (3,3)")
+	}
+	if !setB.Contains(array.NewIndex(5, 5, 5)) {
+		t.Error("beta missing (5,5,5)")
+	}
+}

@@ -1,0 +1,140 @@
+// Package trace is Kondo's audit interposition layer, standing in for
+// the ptrace-based Sciunit system of the paper. It wraps file handles
+// so that every data access turns into an ioevent.Event, and resolves
+// the audited byte ranges back to array indices using the data file's
+// self-describing metadata (paper §IV-C).
+//
+// The paper's interposer observes open/lseek/read/close system calls;
+// our traced handle exposes ReadAt, which it reports as the equivalent
+// lseek+read pair so the recorded event stream matches what a syscall
+// tracer would log.
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ioevent"
+)
+
+// Tracer audits file I/O into an event store. Each Tracer models one
+// audited execution; the paper's debloat test creates one per run.
+type Tracer struct {
+	store   *ioevent.Store
+	nextPID int64
+
+	logMu sync.Mutex
+	log   *ioevent.LogWriter
+}
+
+// NewTracer returns a Tracer recording into store.
+func NewTracer(store *ioevent.Store) *Tracer {
+	return &Tracer{store: store}
+}
+
+// Store returns the event store the tracer records into.
+func (t *Tracer) Store() *ioevent.Store { return t.store }
+
+// TeeLog additionally appends every recorded event to the given
+// persistent event log (paper §V Implementation: system-call arguments
+// are recorded in a data store). Pass nil to stop teeing.
+func (t *Tracer) TeeLog(lw *ioevent.LogWriter) {
+	t.logMu.Lock()
+	t.log = lw
+	t.logMu.Unlock()
+}
+
+// record sends an event to the store and, when attached, the log.
+func (t *Tracer) record(e ioevent.Event) error {
+	if err := t.store.Record(e); err != nil {
+		return err
+	}
+	t.logMu.Lock()
+	lw := t.log
+	t.logMu.Unlock()
+	if lw != nil {
+		if err := lw.Append(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewProcess allocates a simulated process identifier. Audited
+// workloads that model multi-process executions call this once per
+// process.
+func (t *Tracer) NewProcess() int {
+	return int(atomic.AddInt64(&t.nextPID, 1))
+}
+
+// Open opens path for reading through the tracer under the given
+// simulated pid, recording the open event.
+func (t *Tracer) Open(pid int, path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open %s: %w", path, err)
+	}
+	id := ioevent.ID{PID: pid, File: filepath.Base(path)}
+	if err := t.record(ioevent.Event{ID: id, Op: ioevent.OpOpen}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &File{f: f, tracer: t, id: id}, nil
+}
+
+// File is a traced read-only file handle. It satisfies
+// sdf.ByteSource, so an sdf.File opened through it is fully audited.
+type File struct {
+	f      *os.File
+	tracer *Tracer
+	id     ioevent.ID
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ReadAt reads len(p) bytes at offset off, recording the access as an
+// lseek followed by a read of the number of bytes actually
+// transferred.
+func (tf *File) ReadAt(p []byte, off int64) (int, error) {
+	tf.mu.Lock()
+	if tf.closed {
+		tf.mu.Unlock()
+		return 0, fmt.Errorf("trace: read on closed file %s", tf.id.File)
+	}
+	tf.mu.Unlock()
+
+	if err := tf.tracer.record(ioevent.Event{ID: tf.id, Op: ioevent.OpLseek, Offset: off}); err != nil {
+		return 0, err
+	}
+	n, err := tf.f.ReadAt(p, off)
+	if n > 0 {
+		if rerr := tf.tracer.record(ioevent.Event{
+			ID: tf.id, Op: ioevent.OpRead, Offset: off, Size: int64(n),
+		}); rerr != nil {
+			return n, rerr
+		}
+	}
+	return n, err
+}
+
+// Close closes the handle and records the close event.
+func (tf *File) Close() error {
+	tf.mu.Lock()
+	if tf.closed {
+		tf.mu.Unlock()
+		return nil
+	}
+	tf.closed = true
+	tf.mu.Unlock()
+	if err := tf.tracer.record(ioevent.Event{ID: tf.id, Op: ioevent.OpClose}); err != nil {
+		return err
+	}
+	return tf.f.Close()
+}
+
+// Name returns the audited file name (the event ID's file component).
+func (tf *File) Name() string { return tf.id.File }

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/array"
+)
+
+func TestPRLRunReadsRing(t *testing.T) {
+	p := MustPRL(32, 32)
+	// Box 20x24: border thickness 2.
+	set, err := RunOnVirtual(p, []float64{20, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Empty() {
+		t.Fatal("valid PRL run read nothing")
+	}
+	// Corners and edges of the box are read.
+	for _, ix := range []array.Index{
+		array.NewIndex(0, 0), array.NewIndex(19, 23),
+		array.NewIndex(0, 23), array.NewIndex(19, 0),
+		array.NewIndex(10, 1), array.NewIndex(1, 10),
+		array.NewIndex(18, 10), array.NewIndex(10, 22),
+	} {
+		if !set.Contains(ix) {
+			t.Errorf("border index %v not read", ix)
+		}
+	}
+	// Deep interior is not.
+	if set.Contains(array.NewIndex(10, 10)) {
+		t.Error("interior index read by border-only program")
+	}
+	// Outside the box is not.
+	if set.Contains(array.NewIndex(25, 25)) {
+		t.Error("outside-box index read")
+	}
+}
+
+func TestPRL3DRunReadsShell(t *testing.T) {
+	p := MustPRL(16, 16, 16)
+	lo := p.Params()[0].Lo
+	set, err := RunOnVirtual(p, []float64{float64(lo), float64(lo), float64(lo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Empty() {
+		t.Fatal("valid PRL3D run read nothing")
+	}
+	// A face point is read, the box center is not.
+	if !set.Contains(array.NewIndex(0, 3, 3)) {
+		t.Error("face index not read")
+	}
+	center := lo / 2
+	if set.Contains(array.NewIndex(center, center, center)) {
+		t.Error("interior index read")
+	}
+}
+
+func TestCornerBlocksRun3D(t *testing.T) {
+	for _, mk := range []func(...int) (*CornerBlocks, error){NewLDC, NewRDC} {
+		p, err := mk(16, 16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := RunOnVirtual(p, []float64{2, 3, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two blocks of 2*3*4 cells each, disjoint.
+		if set.Len() != 2*2*3*4 {
+			t.Errorf("%s read %d cells, want %d", p.Name(), set.Len(), 2*2*3*4)
+		}
+		// The exact center is never part of a quarter-extent corner
+		// block.
+		if set.Contains(array.NewIndex(8, 8, 8)) {
+			t.Errorf("%s read the center", p.Name())
+		}
+	}
+}
+
+func TestCornerBlocksOutOfTheta(t *testing.T) {
+	p := MustLDC(32, 32)
+	// Block extent above the quarter cap: not a supported run.
+	set, err := RunOnVirtual(p, []float64{20, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Empty() {
+		t.Error("out-of-Θ corner run accessed data")
+	}
+}
+
+func TestARDRunShape(t *testing.T) {
+	a, err := NewARD(16, 20, 8, 2, 6, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := RunOnVirtual(a, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 4x5 at time plane 6.
+	if set.Len() != 4*5 {
+		t.Fatalf("ARD read %d cells, want 20", set.Len())
+	}
+	set.Each(func(ix array.Index) bool {
+		if ix[0] >= 4 || ix[1] >= 5 || ix[2] != 6 {
+			t.Fatalf("ARD index %v outside block", ix)
+		}
+		return true
+	})
+	// Out-of-range time: nothing.
+	set, err = RunOnVirtual(a, []float64{4, 5, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Empty() {
+		t.Error("out-of-Θ ARD run accessed data")
+	}
+}
+
+func TestMSIRunShape(t *testing.T) {
+	m, err := NewMSI(6, 7, 40, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := RunOnVirtual(m, []float64{2, 3, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spectral line z=15..20 at pixel (2,3): 6 cells.
+	if set.Len() != 6 {
+		t.Fatalf("MSI read %d cells, want 6", set.Len())
+	}
+	set.Each(func(ix array.Index) bool {
+		if ix[0] != 2 || ix[1] != 3 || ix[2] < 15 || ix[2] > 20 {
+			t.Fatalf("MSI index %v outside line", ix)
+		}
+		return true
+	})
+}
+
+func TestForSpaceValidation(t *testing.T) {
+	if _, err := ForSpace("CS2", []int{64, 32}); err == nil {
+		t.Error("non-square CS should error")
+	}
+	if _, err := ForSpace("PRL3D", []int{16, 16}); err == nil {
+		t.Error("rank mismatch should error")
+	}
+	if _, err := ForSpace("ARD", []int{2, 2, 2}); err == nil {
+		t.Error("wrong ARD dims should error")
+	}
+	if _, err := ForSpace("nope", []int{2, 2}); err == nil {
+		t.Error("unknown name should error")
+	}
+	p, err := ForSpace("RDC3D", []int{32, 32, 32})
+	if err != nil || p.Name() != "RDC3D" {
+		t.Errorf("ForSpace(RDC3D) = %v, %v", p, err)
+	}
+	// ARD/MSI resolve at their fixed default dims.
+	ard := DefaultARD()
+	if _, err := ForSpace("ARD", ard.Space().Dims()); err != nil {
+		t.Errorf("ForSpace(ARD, default dims): %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+)
+
+// hasAnalytic is satisfied by program types where only some instances
+// carry a closed-form truth (the CS family: CS3 has none).
+type hasAnalytic interface {
+	HasAnalyticTruth() bool
+}
+
+// analyticOf returns the program's analytic ground-truth predicate, if
+// it has one.
+func analyticOf(p Program) (AnalyticTruth, bool) {
+	at, ok := p.(AnalyticTruth)
+	if !ok {
+		return nil, false
+	}
+	if ha, ok := p.(hasAnalytic); ok && !ha.HasAnalyticTruth() {
+		return nil, false
+	}
+	return at, true
+}
+
+// GroundTruth computes the exact index subset I_Θ of a program: the
+// union of I_v over every integer parameter valuation v ∈ Θ (paper
+// §III). Programs with a closed-form predicate are rasterized
+// directly; the rest are enumerated exhaustively — exact by
+// definition, affordable because it runs against the virtual accessor
+// (no real I/O), and done once per experiment. This is the manual
+// ground-truth determination of §V-C.
+func GroundTruth(p Program) (*array.IndexSet, error) {
+	if at, ok := analyticOf(p); ok {
+		set := array.NewIndexSet(p.Space())
+		var addErr error
+		p.Space().Each(func(ix array.Index) bool {
+			if at.InTruth(ix) {
+				if _, err := set.Add(ix); err != nil {
+					addErr = err
+					return false
+				}
+			}
+			return true
+		})
+		return set, addErr
+	}
+	return ExhaustiveTruth(p)
+}
+
+// ExhaustiveTruth computes I_Θ by running the program on every
+// integer valuation of Θ, accumulating all accessed indices.
+func ExhaustiveTruth(p Program) (*array.IndexSet, error) {
+	acc := NewVirtualAccessor(p.Space())
+	env := &Env{Acc: acc}
+	var runErr error
+	p.Params().EachValuation(func(v []float64) bool {
+		if err := p.Run(v, env); err != nil {
+			runErr = fmt.Errorf("workload: exhaustive truth of %s at %v: %w", p.Name(), v, err)
+			return false
+		}
+		return true
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return acc.Accessed(), nil
+}
+
+// Default benchmark sizes from §V-B: 128×128 (256 KB at 16-byte
+// elements) in 2D and 64×64×64 (4 MB) in 3D.
+const (
+	Default2D = 128
+	Default3D = 64
+)
+
+// Micro returns the four micro-benchmark programs of §V-A (the
+// h5bench-derived patterns) at the given 2D extent: the base cross
+// stencil and the three block patterns.
+func Micro(n int) []Program {
+	return []Program{MustCS(2, n), MustPRL(n, n), MustLDC(n, n), MustRDC(n, n)}
+}
+
+// Synthetic returns the seven synthetic programs of Table II: the four
+// modified-constraint CS variants at extent n2, and the 3D extensions
+// of PRL, LDC and RDC at extent n3.
+func Synthetic(n2, n3 int) []Program {
+	return []Program{
+		MustCS(1, n2), MustCS(3, n2), MustCS(4, n2), MustCS(5, n2),
+		MustPRL(n3, n3, n3), MustLDC(n3, n3, n3), MustRDC(n3, n3, n3),
+	}
+}
+
+// All returns the full 11-program benchmark suite at default sizes.
+func All() []Program {
+	return append(Micro(Default2D), Synthetic(Default2D, Default3D)...)
+}
+
+// ByName returns the program with the given name from the default
+// suite (including ARD and MSI), or an error.
+func ByName(name string) (Program, error) {
+	for _, p := range All() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	switch name {
+	case "ARD":
+		return DefaultARD(), nil
+	case "MSI":
+		return DefaultMSI(), nil
+	}
+	return nil, fmt.Errorf("workload: unknown program %q", name)
+}
+
+// ForSpace instantiates the named program sized to the given array
+// extents, e.g. to run a container whose bundled data file has a
+// different shape than the benchmark defaults.
+func ForSpace(name string, dims []int) (Program, error) {
+	squareExtent := func() (int, error) {
+		if len(dims) != 2 || dims[0] != dims[1] {
+			return 0, fmt.Errorf("workload: %s wants a square 2D array, got %v", name, dims)
+		}
+		return dims[0], nil
+	}
+	wantRank := func(rank int) error {
+		if len(dims) != rank {
+			return fmt.Errorf("workload: %s wants rank %d, got %v", name, rank, dims)
+		}
+		return nil
+	}
+	switch name {
+	case "CS1", "CS2", "CS3", "CS4", "CS5":
+		n, err := squareExtent()
+		if err != nil {
+			return nil, err
+		}
+		return NewCS(int(name[2]-'0'), n)
+	case "PRL2D", "LDC2D", "RDC2D":
+		if err := wantRank(2); err != nil {
+			return nil, err
+		}
+	case "PRL3D", "LDC3D", "RDC3D":
+		if err := wantRank(3); err != nil {
+			return nil, err
+		}
+	}
+	switch name {
+	case "PRL2D", "PRL3D":
+		return NewPRL(dims...)
+	case "LDC2D", "LDC3D":
+		return NewLDC(dims...)
+	case "RDC2D", "RDC3D":
+		return NewRDC(dims...)
+	case "ARD":
+		p := DefaultARD()
+		if p.Space().String() != array.MustSpace(dims...).String() {
+			return nil, fmt.Errorf("workload: ARD is fixed at %v", p.Space())
+		}
+		return p, nil
+	case "MSI":
+		p := DefaultMSI()
+		if p.Space().String() != array.MustSpace(dims...).String() {
+			return nil, fmt.Errorf("workload: MSI is fixed at %v", p.Space())
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("workload: unknown program %q", name)
+}

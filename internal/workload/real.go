@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+)
+
+// realEdgeBase spaces the instrumentation edge ids of the
+// real-application programs away from other families.
+const realEdgeBase = 300
+
+// ARD models the Atmospheric River Detection application of Tang et
+// al. (paper §V-D7, Table III): each run reads a block whose width and
+// height are parameterized while the temporal dimension is swept by
+// the third parameter. The union over Θ is the full-width × full-
+// height × all-time cuboid, leaving ~97% of the file unread.
+//
+// The paper runs ARD against a 1536×2304×4096 (217 GB) file; this
+// reproduction keeps the same geometry scaled down (default 1/8 per
+// spatial step, 1/8 temporal) because the fuzzer and carver are
+// size-independent (paper §V-D4). Use NewARD to choose other scales.
+type ARD struct {
+	space array.Space
+	rows, cols, time,
+	hLo, hHi, wLo, wHi int
+}
+
+// NewARD returns an ARD program over a rows×cols×time array reading
+// height∈[hLo,hHi], width∈[wLo,wHi] blocks at a parameterized time
+// plane.
+func NewARD(rows, cols, time, hLo, hHi, wLo, wHi int) (*ARD, error) {
+	if hHi > rows || wHi > cols || hLo < 1 || wLo < 1 || hLo > hHi || wLo > wHi {
+		return nil, fmt.Errorf("workload: ARD block ranges [%d,%d]x[%d,%d] invalid for %dx%d",
+			hLo, hHi, wLo, wHi, rows, cols)
+	}
+	return &ARD{
+		space: array.MustSpace(rows, cols, time),
+		rows:  rows, cols: cols, time: time,
+		hLo: hLo, hHi: hHi, wLo: wLo, wHi: wHi,
+	}, nil
+}
+
+// DefaultARD returns the Table III configuration scaled by 1/8:
+// 192×288×512 array, height ∈ [12,62], width ∈ [6,25], time ∈ [0,511].
+// The kept fraction (62·25)/(192·288) ≈ 2.8% matches the paper's
+// 97.20% debloat.
+func DefaultARD() *ARD {
+	a, err := NewARD(192, 288, 512, 12, 62, 6, 25)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Name implements Program.
+func (a *ARD) Name() string { return "ARD" }
+
+// Description implements Program.
+func (a *ARD) Description() string {
+	return "atmospheric river detection: parameterized-width/height block at a time plane, full temporal sweep"
+}
+
+// Space implements Program.
+func (a *ARD) Space() array.Space { return a.space }
+
+// Params implements Program.
+func (a *ARD) Params() ParamSpace {
+	return ParamSpace{
+		{Name: "height", Lo: a.hLo, Hi: a.hHi},
+		{Name: "width", Lo: a.wLo, Hi: a.wHi},
+		{Name: "time", Lo: 0, Hi: a.time - 1},
+	}
+}
+
+// Run implements Program.
+func (a *ARD) Run(v []float64, env *Env) error {
+	if len(v) != 3 {
+		return fmt.Errorf("workload: ARD wants 3 parameters, got %d", len(v))
+	}
+	h, w, t := RoundParam(v[0]), RoundParam(v[1]), RoundParam(v[2])
+	if h < a.hLo || h > a.hHi || w < a.wLo || w > a.wHi || t < 0 || t > a.time-1 {
+		env.Hit(realEdgeBase + 0)
+		return nil // outside Θ
+	}
+	env.Hit(realEdgeBase + 1)
+	_, err := env.Acc.ReadSlab([]int{0, 0, t}, []int{h, w, 1})
+	return err
+}
+
+// InTruth implements AnalyticTruth: the union over Θ is the maximal
+// block extruded through all time planes.
+func (a *ARD) InTruth(ix array.Index) bool {
+	return ix[0] < a.hHi && ix[1] < a.wHi
+}
+
+// MSI models the Mass Spectrometry Imaging application of Tang et al.
+// (paper §V-D7, Table III): two dimensions are read entirely while the
+// third (spectral) dimension is read from a parameterized start index
+// up to a fixed end. Each run reads the spectral line of one (x, y)
+// pixel; the union over Θ is the full x×y plane × the reachable
+// spectral band, leaving ~96% of the file unread.
+//
+// The paper's file is 394×518×133092 (405 GB); the default here keeps
+// the x/y geometry scaled by 1/4 and the spectral axis by 1/256.
+type MSI struct {
+	space array.Space
+	nx, ny, nz,
+	zLo, zHi int // start-index parameter range; reads [zStart, zHi]
+}
+
+// NewMSI returns an MSI program over an nx×ny×nz array whose runs read
+// spectral range [zStart, zHi] with zStart ∈ [zLo, zHi].
+func NewMSI(nx, ny, nz, zLo, zHi int) (*MSI, error) {
+	if zHi >= nz || zLo < 0 || zLo > zHi {
+		return nil, fmt.Errorf("workload: MSI spectral range [%d,%d] invalid for extent %d", zLo, zHi, nz)
+	}
+	return &MSI{space: array.MustSpace(nx, ny, nz), nx: nx, ny: ny, nz: nz, zLo: zLo, zHi: zHi}, nil
+}
+
+// DefaultMSI returns the Table III configuration scaled to a
+// 99×130×520 array with spectral start ∈ [39,58] and fixed end 58. The
+// kept fraction 20/520 ≈ 3.8% matches the paper's 96.24% debloat.
+func DefaultMSI() *MSI {
+	m, err := NewMSI(99, 130, 520, 39, 58)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements Program.
+func (m *MSI) Name() string { return "MSI" }
+
+// Description implements Program.
+func (m *MSI) Description() string {
+	return "mass spectrometry imaging: full-plane pixels, spectral dimension read from a parameterized start"
+}
+
+// Space implements Program.
+func (m *MSI) Space() array.Space { return m.space }
+
+// Params implements Program.
+func (m *MSI) Params() ParamSpace {
+	return ParamSpace{
+		{Name: "x", Lo: 0, Hi: m.nx - 1},
+		{Name: "y", Lo: 0, Hi: m.ny - 1},
+		{Name: "zstart", Lo: m.zLo, Hi: m.zHi},
+	}
+}
+
+// Run implements Program.
+func (m *MSI) Run(v []float64, env *Env) error {
+	if len(v) != 3 {
+		return fmt.Errorf("workload: MSI wants 3 parameters, got %d", len(v))
+	}
+	x, y, zs := RoundParam(v[0]), RoundParam(v[1]), RoundParam(v[2])
+	if x < 0 || x >= m.nx || y < 0 || y >= m.ny || zs < m.zLo || zs > m.zHi {
+		env.Hit(realEdgeBase + 10)
+		return nil // outside Θ
+	}
+	env.Hit(realEdgeBase + 11)
+	_, err := env.Acc.ReadSlab([]int{x, y, zs}, []int{1, 1, m.zHi - zs + 1})
+	return err
+}
+
+// InTruth implements AnalyticTruth: every pixel's spectral band
+// [zLo, zHi] is reachable.
+func (m *MSI) InTruth(ix array.Index) bool {
+	return ix[2] >= m.zLo && ix[2] <= m.zHi
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+)
+
+// restricted narrows a program's parameter space to the ranges a
+// container creator advertises (the PARAM line of paper Fig. 2a). The
+// paper's premise is that Θ — not the program text — defines the
+// supported runs: the same program with a narrower Θ has a smaller
+// index subset, e.g. Listing 1 subsets the lower triangle "if the
+// container creator had advertised the container as only to be run
+// with valuations wherein stepX ≤ stepY" (§I-A).
+type restricted struct {
+	inner  Program
+	params ParamSpace
+}
+
+// WithParams returns p restricted to the advertised parameter space.
+// Every advertised range must lie within the program's own range for
+// the same parameter; runs outside the advertised space access
+// nothing.
+//
+// The restricted program never claims an analytic ground truth (the
+// inner program's closed form describes the full Θ); GroundTruth falls
+// back to exhaustive enumeration over the narrowed space.
+func WithParams(p Program, ps ParamSpace) (Program, error) {
+	own := p.Params()
+	if len(ps) != len(own) {
+		return nil, fmt.Errorf("workload: %s wants %d parameters, PARAM declares %d",
+			p.Name(), len(own), len(ps))
+	}
+	out := make(ParamSpace, len(ps))
+	for i, r := range ps {
+		if r.Lo < own[i].Lo || r.Hi > own[i].Hi {
+			return nil, fmt.Errorf("workload: PARAM range %d [%d,%d] exceeds %s's supported [%d,%d]",
+				i, r.Lo, r.Hi, p.Name(), own[i].Lo, own[i].Hi)
+		}
+		out[i] = r
+		if out[i].Name == "" || out[i].Name[0] == 'p' {
+			// Prefer the program's descriptive parameter names over
+			// the spec parser's positional placeholders.
+			out[i].Name = own[i].Name
+		}
+	}
+	return &restricted{inner: p, params: out}, nil
+}
+
+// Name implements Program.
+func (r *restricted) Name() string { return r.inner.Name() }
+
+// Description implements Program.
+func (r *restricted) Description() string {
+	return r.inner.Description() + " (restricted Θ)"
+}
+
+// Space implements Program.
+func (r *restricted) Space() array.Space { return r.inner.Space() }
+
+// Params implements Program: the advertised (narrowed) space.
+func (r *restricted) Params() ParamSpace { return r.params }
+
+// Run implements Program: valuations outside the advertised Θ access
+// nothing, exactly like unsupported valuations of the inner program.
+func (r *restricted) Run(v []float64, env *Env) error {
+	if !r.params.Contains(v) {
+		return nil
+	}
+	return r.inner.Run(v, env)
+}

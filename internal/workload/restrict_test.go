@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/array"
+)
+
+func TestWithParamsValidation(t *testing.T) {
+	p := MustCS(2, 64)
+	if _, err := WithParams(p, ParamSpace{{Lo: 0, Hi: 10}}); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	if _, err := WithParams(p, ParamSpace{{Lo: 0, Hi: 100}, {Lo: 0, Hi: 10}}); err == nil {
+		t.Error("range exceeding the program's should error")
+	}
+	r, err := WithParams(p, ParamSpace{{Lo: 0, Hi: 10}, {Lo: 0, Hi: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != p.Name() {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if r.Params().Valuations() != 121 {
+		t.Errorf("|Θ| = %d, want 121", r.Params().Valuations())
+	}
+	// Parameter names inherited from the program.
+	if r.Params()[0].Name != "stepX" {
+		t.Errorf("param name = %q", r.Params()[0].Name)
+	}
+}
+
+func TestRestrictedThetaShrinksSubset(t *testing.T) {
+	// The paper's §I-A point: the same program with a narrower
+	// advertised Θ needs less data. Restrict CS2 to steps <= 1 so
+	// walks only reach the 2-wide diagonal band.
+	p := MustCS(2, 64)
+	r, err := WithParams(p, ParamSpace{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := GroundTruth(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := GroundTruth(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Len() >= full.Len() {
+		t.Fatalf("restricted truth %d not smaller than full %d", narrow.Len(), full.Len())
+	}
+	// The restricted truth is a subset of the full one.
+	violated := false
+	narrow.Each(func(ix array.Index) bool {
+		if !full.Contains(ix) {
+			violated = true
+			return false
+		}
+		return true
+	})
+	if violated {
+		t.Error("restricted truth not contained in full truth")
+	}
+	// Runs outside the advertised Θ access nothing even though the
+	// inner program would support them.
+	set, err := RunOnVirtual(r, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Empty() {
+		t.Error("out-of-advertised-Θ run accessed data")
+	}
+	// Runs inside behave identically to the inner program.
+	a, err := RunOnVirtual(r, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOnVirtual(p, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("in-Θ run differs from inner program")
+	}
+}
+
+func TestRestrictedNeverClaimsAnalyticTruth(t *testing.T) {
+	p := MustCS(2, 32) // inner has analytic truth
+	r, err := WithParams(p, ParamSpace{{Lo: 0, Hi: 3}, {Lo: 0, Hi: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := analyticOf(r); ok {
+		t.Error("restricted program must not inherit the inner analytic truth")
+	}
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+)
+
+// CrossStencil is the Listing-1 family of programs: starting at (0,0),
+// the program repeatedly reads the 2×2 cross stencil at the current
+// cell — (i,j), (i+1,j), (i,j+1), (i+1,j+1) — and advances by
+// (stepX, stepY), while both coordinates stay in bounds. A constraint
+// over (stepX, stepY) decides which parameter valuations are useful;
+// the five CS variants (paper Table II's CS family) differ only in
+// that constraint:
+//
+//	CS1: 5 ≤ stepX ≤ stepY        — isolated origin block, then a
+//	                                 distant dense band (sparse gap
+//	                                 costs precision, as in §V-D2)
+//	CS2: stepX ≤ stepY            — the Listing-1 base: lower
+//	                                 triangular band
+//	CS3: stepX ≤ stepY ≤ 2·stepX  — a wedge between slopes 1 and 2;
+//	                                 the multiplicative band keeps the
+//	                                 useful fraction of Θ constant as
+//	                                 the array grows, so it is the
+//	                                 Fig. 11a size-sweep program
+//	CS4: 2·stepX ≤ stepY          — shallow-slope band
+//	CS5: stepX ≤ stepY, stepY ≥ 10 — origin block isolated from a
+//	                                 dense upper region by a gap
+type CrossStencil struct {
+	name       string
+	desc       string
+	space      array.Space
+	n          int
+	constraint func(sx, sy int) bool
+	// cellOK, when non-nil, is the closed-form predicate for the set
+	// of stencil anchor cells reachable over all valid parameter
+	// values; the ground truth is its dilation by the 2×2 stencil.
+	cellOK func(u, v int) bool
+}
+
+// stencilEdgeBase spaces the instrumentation edge ids of stencil
+// programs away from other program families.
+const stencilEdgeBase = 100
+
+// NewCS returns cross-stencil variant CS1..CS5 over an n×n array.
+func NewCS(variant, n int) (*CrossStencil, error) {
+	if n < 16 {
+		return nil, fmt.Errorf("workload: CS array extent %d too small", n)
+	}
+	cs := &CrossStencil{
+		name:  fmt.Sprintf("CS%d", variant),
+		space: array.MustSpace(n, n),
+		n:     n,
+	}
+	switch variant {
+	case 1:
+		cs.desc = "cross stencil, 5 <= stepX <= stepY: origin block plus distant band"
+		cs.constraint = func(sx, sy int) bool { return 5 <= sx && sx <= sy }
+		cs.cellOK = func(u, v int) bool { return (u == 0 && v == 0) || (5 <= u && u <= v) }
+	case 2:
+		cs.desc = "cross stencil, stepX <= stepY: lower triangular band (Listing 1)"
+		cs.constraint = func(sx, sy int) bool { return 0 <= sx && sx <= sy }
+		cs.cellOK = func(u, v int) bool { return u <= v }
+	case 3:
+		cs.desc = "cross stencil, stepX <= stepY <= 2*stepX: wedge between slopes 1 and 2"
+		cs.constraint = func(sx, sy int) bool { return 0 <= sx && sx <= sy && sy <= 2*sx }
+		// Step multiples preserve the slope ratio, so the reachable
+		// cells are exactly the wedge (with (0,0) as the sx=sy=0
+		// case).
+		cs.cellOK = func(u, v int) bool { return u <= v && v <= 2*u }
+	case 4:
+		cs.desc = "cross stencil, 2*stepX <= stepY: shallow-slope band"
+		cs.constraint = func(sx, sy int) bool { return 0 <= sx && 2*sx <= sy }
+		cs.cellOK = func(u, v int) bool { return 2*u <= v }
+	case 5:
+		cs.desc = "cross stencil, stepX <= stepY >= 10: origin block plus gapped upper region"
+		cs.constraint = func(sx, sy int) bool { return 0 <= sx && sx <= sy && sy >= 10 }
+		cs.cellOK = func(u, v int) bool { return (u == 0 && v == 0) || (u <= v && v >= 10) }
+	default:
+		return nil, fmt.Errorf("workload: unknown CS variant %d", variant)
+	}
+	return cs, nil
+}
+
+// MustCS is NewCS that panics on error.
+func MustCS(variant, n int) *CrossStencil {
+	cs, err := NewCS(variant, n)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+// Name implements Program.
+func (cs *CrossStencil) Name() string { return cs.name }
+
+// Description implements Program.
+func (cs *CrossStencil) Description() string { return cs.desc }
+
+// Space implements Program.
+func (cs *CrossStencil) Space() array.Space { return cs.space }
+
+// Params implements Program. Following §V-D4, the step ranges extend
+// to the maximum dataset extent.
+func (cs *CrossStencil) Params() ParamSpace {
+	return ParamSpace{
+		{Name: "stepX", Lo: 0, Hi: cs.n - 1},
+		{Name: "stepY", Lo: 0, Hi: cs.n - 1},
+	}
+}
+
+// Run implements Program.
+func (cs *CrossStencil) Run(v []float64, env *Env) error {
+	if len(v) != 2 {
+		return fmt.Errorf("workload: %s wants 2 parameters, got %d", cs.name, len(v))
+	}
+	sx, sy := RoundParam(v[0]), RoundParam(v[1])
+	if sx < 0 || sy < 0 || sx > cs.n-1 || sy > cs.n-1 {
+		env.Hit(stencilEdgeBase + 0)
+		return nil // outside Θ: not a supported run
+	}
+	if !cs.constraint(sx, sy) {
+		env.Hit(stencilEdgeBase + 1)
+		return nil // fails the Listing-1 guard: reads nothing
+	}
+	env.Hit(stencilEdgeBase + 2)
+	i, j := 0, 0
+	for i+1 <= cs.n-1 && j+1 <= cs.n-1 {
+		env.Hit(stencilEdgeBase + 3)
+		for _, d := range [4][2]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+			if _, err := env.Acc.ReadElement(array.NewIndex(i+d[0], j+d[1])); err != nil {
+				return err
+			}
+		}
+		if sx == 0 && sy == 0 {
+			env.Hit(stencilEdgeBase + 4)
+			break
+		}
+		i += sx
+		j += sy
+	}
+	return nil
+}
+
+// InTruth implements AnalyticTruth for variants with a closed-form
+// reachable-cell predicate. Variants without one (CS3) do not satisfy
+// AnalyticTruth; assert for the interface before calling.
+func (cs *CrossStencil) InTruth(ix array.Index) bool {
+	if cs.cellOK == nil {
+		panic(fmt.Sprintf("workload: %s has no analytic ground truth", cs.name))
+	}
+	x, y := ix[0], ix[1]
+	for _, d := range [4][2]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+		u, v := x-d[0], y-d[1]
+		if u < 0 || v < 0 || u > cs.n-2 || v > cs.n-2 {
+			continue
+		}
+		if cs.cellOK(u, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAnalyticTruth reports whether this variant carries a closed-form
+// ground truth.
+func (cs *CrossStencil) HasAnalyticTruth() bool { return cs.cellOK != nil }
