@@ -1,0 +1,28 @@
+# Developer targets. `make verify` is the tier-1 gate (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: build test race vet verify bench-quick
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the suite under the race detector in -short mode (the
+# timing-sensitive tests skip themselves) — this is what exercises the
+# fuzz worker pool for data races.
+race:
+	$(GO) test -race -short ./...
+
+# verify is the full tier-1 check: build, vet, plain tests, and the
+# race-detector pass over the concurrent paths.
+verify: build vet test race
+	@echo "verify: OK"
+
+bench-quick:
+	$(GO) run ./cmd/kondo-bench -exp all -quick

@@ -10,6 +10,7 @@ package repro_test
 // For the full formatted tables, run `go run ./cmd/kondo-bench -exp all`.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -54,7 +55,7 @@ func BenchmarkFig7Kondo(b *testing.B) {
 				cfg := kondo.DefaultConfig()
 				cfg.Fuzz.Seed = int64(i + 1)
 				cfg.Fuzz.MaxEvals = benchBudget
-				res, err := kondo.Debloat(p, cfg)
+				res, err := kondo.Debloat(context.Background(), p, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -72,7 +73,7 @@ func BenchmarkFig7BF(b *testing.B) {
 			gt := truthOf(b, p)
 			var recall float64
 			for i := 0; i < b.N; i++ {
-				res, err := baseline.BruteForce(p, benchBudget, 0)
+				res, err := baseline.BruteForce(context.Background(), p, benchBudget, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -93,7 +94,7 @@ func BenchmarkFig7AFL(b *testing.B) {
 				cfg := baseline.DefaultAFLConfig()
 				cfg.MaxEvals = benchBudget
 				cfg.Seed = int64(i + 1)
-				res, err := baseline.AFL(p, cfg)
+				res, err := baseline.AFL(context.Background(), p, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -116,7 +117,7 @@ func BenchmarkFig8KondoPrecision(b *testing.B) {
 				cfg := kondo.DefaultConfig()
 				cfg.Fuzz.Seed = int64(i + 1)
 				cfg.Fuzz.MaxEvals = benchBudget
-				res, err := kondo.Debloat(p, cfg)
+				res, err := kondo.Debloat(context.Background(), p, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -137,7 +138,7 @@ func BenchmarkFig8SCPrecision(b *testing.B) {
 				cfg := fuzz.DefaultConfig()
 				cfg.Seed = int64(i + 1)
 				cfg.MaxEvals = benchBudget
-				res, err := baseline.SimpleConvex(p, cfg)
+				res, err := baseline.SimpleConvex(context.Background(), p, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -159,7 +160,7 @@ func BenchmarkFig9Bloat(b *testing.B) {
 				cfg := kondo.DefaultConfig()
 				cfg.Fuzz.Seed = int64(i + 1)
 				cfg.Fuzz.MaxEvals = benchBudget
-				res, err := kondo.Debloat(p, cfg)
+				res, err := kondo.Debloat(context.Background(), p, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -180,7 +181,7 @@ func BenchmarkFig10BFToKondoRecall(b *testing.B) {
 			cfg := kondo.DefaultConfig()
 			cfg.Fuzz.Seed = 1
 			cfg.Fuzz.MaxEvals = benchBudget
-			res, err := kondo.Debloat(p, cfg)
+			res, err := kondo.Debloat(context.Background(), p, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -189,7 +190,7 @@ func BenchmarkFig10BFToKondoRecall(b *testing.B) {
 			var ratio float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				bf, err := baseline.BruteForceUntil(p, 128, func(r *baseline.Result) bool {
+				bf, err := baseline.BruteForceUntil(context.Background(), p, 128, func(r *baseline.Result) bool {
 					return metrics.Recall(gt, r.Indices) >= target
 				})
 				if err != nil {
@@ -215,7 +216,7 @@ func BenchmarkTableIII(b *testing.B) {
 				cfg.Fuzz.Seed = int64(i + 1)
 				cfg.Fuzz.MaxEvals = 4000
 				cfg.Fuzz.MaxIter = 8000
-				res, err := kondo.Debloat(p, cfg)
+				res, err := kondo.Debloat(context.Background(), p, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -242,7 +243,7 @@ func BenchmarkFig11aSize(b *testing.B) {
 				cfg := kondo.DefaultConfig()
 				cfg.Fuzz.Seed = int64(i + 1)
 				cfg.Fuzz.MaxEvals = benchBudget
-				res, err := kondo.Debloat(p, cfg)
+				res, err := kondo.Debloat(context.Background(), p, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -267,7 +268,7 @@ func BenchmarkFig11bcThreshold(b *testing.B) {
 				cfg.Fuzz.Seed = int64(i + 1)
 				cfg.Fuzz.MaxEvals = benchBudget
 				cfg.Carve.CenterDistThresh = th
-				res, err := kondo.Debloat(p, cfg)
+				res, err := kondo.Debloat(context.Background(), p, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -358,7 +359,7 @@ func BenchmarkAblationSchedule(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := f.Run()
+				res, err := f.Run(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -381,7 +382,7 @@ func BenchmarkAblationCarver(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	obs, err := f.Run()
+	obs, err := f.Run(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -526,7 +527,7 @@ func BenchmarkCarve(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	obs, err := f.Run()
+	obs, err := f.Run(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -548,7 +549,7 @@ func BenchmarkFuzzCampaign(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := f.Run(); err != nil {
+		if _, err := f.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -568,7 +569,7 @@ func BenchmarkExperimentHarness(b *testing.B) {
 		b.Run(id, func(b *testing.B) {
 			opts := bench.QuickOptions()
 			for i := 0; i < b.N; i++ {
-				if _, err := bench.Run(id, opts); err != nil {
+				if _, err := bench.Run(context.Background(), id, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -8,11 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
@@ -20,13 +23,15 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id, or \"all\"")
-		list   = flag.Bool("list", false, "list available experiments")
-		quick  = flag.Bool("quick", false, "reduced sizes and repetitions")
-		runs   = flag.Int("runs", 0, "override repetition count for Kondo/BF")
-		budget = flag.Int("budget", 0, "override debloat-test budget")
-		seed   = flag.Int64("seed", 1, "base random seed")
-		csvDir = flag.String("csv", "", "also write each report as <dir>/<exp>.csv")
+		exp     = flag.String("exp", "", "experiment id, or \"all\"")
+		list    = flag.Bool("list", false, "list available experiments")
+		quick   = flag.Bool("quick", false, "reduced sizes and repetitions")
+		runs    = flag.Int("runs", 0, "override repetition count for Kondo/BF")
+		budget  = flag.Int("budget", 0, "override debloat-test budget")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		workers = flag.Int("workers", 0, "fuzz worker-pool size per campaign (0 = one per CPU)")
+		timeout = flag.Duration("timeout", 0, "overall deadline across all experiments (0 = none)")
+		csvDir  = flag.String("csv", "", "also write each report as <dir>/<exp>.csv")
 	)
 	flag.Parse()
 
@@ -40,11 +45,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
+
 	opts := bench.DefaultOptions()
 	if *quick {
 		opts = bench.QuickOptions()
 	}
 	opts.Seed = *seed
+	opts.Workers = *workers
 	if *runs > 0 {
 		opts.Runs = *runs
 	}
@@ -58,7 +72,7 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		rep, err := bench.Run(id, opts)
+		rep, err := bench.Run(ctx, id, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kondo-bench:", err)
 			os.Exit(1)

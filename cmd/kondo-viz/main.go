@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -74,7 +75,7 @@ func run(out string, size, budget int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		res, err := f.Run()
+		res, err := f.Run(context.Background())
 		if err != nil {
 			return err
 		}

@@ -13,11 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/sdf"
 	"repro/internal/workload"
@@ -29,6 +33,8 @@ func main() {
 		program  = flag.String("program", "", "benchmark program name (CS1..CS5, PRL2D/3D, LDC2D/3D, RDC2D/3D, ARD, MSI)")
 		budget   = flag.Int("budget", 2000, "debloat-test budget (number of audited executions)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "fuzz worker-pool size (0 = one per CPU); results are identical at any value")
+		timeout  = flag.Duration("timeout", 0, "overall deadline for the run (0 = none), e.g. 30s or 5m")
 		data     = flag.String("data", "", "optional: sdf data file to debloat")
 		dataset  = flag.String("dataset", "data", "dataset name within the data file")
 		out      = flag.String("out", "", "optional: path of the debloated data file")
@@ -43,24 +49,38 @@ func main() {
 	)
 	flag.Parse()
 
+	// Interrupts cancel the campaign instead of killing the process:
+	// the pipeline stops within one evaluation batch.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
+
 	var err error
 	switch {
 	case *spec != "":
-		err = containerMode(*spec, *src, *image, *debloated, *dataset, *budget, *seed, *chunkArg)
+		err = containerMode(ctx, *spec, *src, *image, *debloated, *dataset, *budget, *seed, *workers, *chunkArg)
 	case *program != "":
-		err = programMode(*program, *data, *dataset, *out, *budget, *seed, *chunkArg, *gran, *manifest)
+		err = programMode(ctx, *program, *data, *dataset, *out, *budget, *seed, *workers, *chunkArg, *gran, *manifest)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: kondo -program <name> | kondo -spec <file>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "kondo: campaign stopped:", err)
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "kondo:", err)
 		os.Exit(1)
 	}
 }
 
-func programMode(name, data, dataset, out string, budget int, seed int64, chunkArg, gran, manifestPath string) error {
+func programMode(ctx context.Context, name, data, dataset, out string, budget int, seed int64, workers int, chunkArg, gran, manifestPath string) error {
 	p, err := resolveProgram(name, data, dataset)
 	if err != nil {
 		return err
@@ -68,7 +88,8 @@ func programMode(name, data, dataset, out string, budget int, seed int64, chunkA
 	cfg := kondo.DefaultConfig()
 	cfg.Fuzz.Seed = seed
 	cfg.Fuzz.MaxEvals = budget
-	res, err := kondo.Debloat(p, cfg)
+	cfg.Fuzz.Workers = workers
+	res, err := kondo.Debloat(ctx, p, cfg)
 	if err != nil {
 		return err
 	}
@@ -76,6 +97,7 @@ func programMode(name, data, dataset, out string, budget int, seed int64, chunkA
 	fmt.Printf("array:       %s, |Θ| = %d\n", p.Space(), p.Params().Valuations())
 	fmt.Printf("tests run:   %d (useful %d, non-useful %d)\n",
 		res.Fuzz.Evaluations, res.Fuzz.Useful, res.Fuzz.NonUseful)
+	fmt.Printf("campaign:    %s\n", kondo.CampaignOf(res))
 	fmt.Printf("hulls:       %d\n", len(res.Hulls))
 	fmt.Printf("subset:      %d of %d indices (%.2f%% bloat identified)\n",
 		res.Approx.Len(), p.Space().Size(),
@@ -144,7 +166,7 @@ func resolveProgram(name, data, dataset string) (kondo.Program, error) {
 	return kondo.ProgramForSpace(name, ds.Space().Dims())
 }
 
-func containerMode(specPath, src, imageDir, debloatedDir, dataset string, budget int, seed int64, chunkArg string) error {
+func containerMode(ctx context.Context, specPath, src, imageDir, debloatedDir, dataset string, budget int, seed int64, workers int, chunkArg string) error {
 	if imageDir == "" || debloatedDir == "" {
 		return fmt.Errorf("container mode needs -image and -debloated directories")
 	}
@@ -201,7 +223,8 @@ func containerMode(specPath, src, imageDir, debloatedDir, dataset string, budget
 	cfg := kondo.DefaultConfig()
 	cfg.Fuzz.Seed = seed
 	cfg.Fuzz.MaxEvals = budget
-	res, err := kondo.Debloat(p, cfg)
+	cfg.Fuzz.Workers = workers
+	res, err := kondo.Debloat(ctx, p, cfg)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 	cfg.Fuzz.Seed = 1
 	cfg.Fuzz.MaxEvals = budget
 	cfg.Fuzz.MaxIter = 2 * budget
-	res, err := kondo.Debloat(p, cfg)
+	res, err := kondo.Debloat(context.Background(), p, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func main() {
 		res.Fuzz.Evaluations, pr.Precision, pr.Recall,
 		100*kondo.BloatFraction(p.Space(), res.Approx))
 
-	bf, err := baseline.BruteForce(p, budget, 0)
+	bf, err := baseline.BruteForce(context.Background(), p, budget, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

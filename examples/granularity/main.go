@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -55,7 +56,7 @@ func main() {
 
 	cfg := kondo.DefaultConfig()
 	cfg.Fuzz.Seed = 1
-	res, err := kondo.Debloat(p, cfg)
+	res, err := kondo.Debloat(context.Background(), p, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

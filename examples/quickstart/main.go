@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 	// Run the pipeline with the paper's configuration.
 	cfg := kondo.DefaultConfig()
 	cfg.Fuzz.Seed = 1
-	res, err := kondo.Debloat(p, cfg)
+	res, err := kondo.Debloat(context.Background(), p, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -72,7 +73,7 @@ func main() {
 	}
 	cfg := kondo.DefaultConfig()
 	cfg.Fuzz.Seed = 7
-	res, err := kondo.Debloat(p, cfg)
+	res, err := kondo.Debloat(context.Background(), p, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"encoding/binary"
 	"math/rand"
 	"time"
@@ -106,7 +107,13 @@ func DefaultAFLConfig() AFLConfig {
 // blindly: most mutants decode to out-of-range valuations and waste
 // executions, and the per-exec bitmap classification/compare is real
 // bookkeeping overhead.
-func AFL(p workload.Program, cfg AFLConfig) (*Result, error) {
+//
+// Canceling the context stops the campaign at the next budget check
+// and returns the partial result.
+func AFL(ctx context.Context, p workload.Program, cfg AFLConfig) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.HavocStacking <= 0 {
 		cfg.HavocStacking = 16
 	}
@@ -168,6 +175,9 @@ func AFL(p workload.Program, cfg AFLConfig) (*Result, error) {
 			return false
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			return false
+		}
+		if ctx.Err() != nil {
 			return false
 		}
 		if cfg.Progress != nil && res.Evaluations >= lastProgress+progressEvery {

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -49,7 +50,7 @@ func TestAFLTimeBudget(t *testing.T) {
 	cfg.TimeBudget = 20 * time.Millisecond
 	cfg.Seed = 1
 	start := time.Now()
-	res, err := AFL(p, cfg)
+	res, err := AFL(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestAFLProgressStops(t *testing.T) {
 		calls++
 		return r.Evaluations >= 200
 	}
-	res, err := AFL(p, cfg)
+	res, err := AFL(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestAFLDeterministicWithSeed(t *testing.T) {
 		cfg := DefaultAFLConfig()
 		cfg.Seed = 7
 		cfg.MaxEvals = 500
-		res, err := AFL(p, cfg)
+		res, err := AFL(context.Background(), p, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -11,7 +12,7 @@ import (
 
 func TestBruteForceExhaustiveIsExact(t *testing.T) {
 	p := workload.MustCS(2, 32)
-	res, err := BruteForce(p, 0, 0)
+	res, err := BruteForce(context.Background(), p, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestBruteForceExhaustiveIsExact(t *testing.T) {
 
 func TestBruteForceRespectsEvalBudget(t *testing.T) {
 	p := workload.MustCS(2, 64)
-	res, err := BruteForce(p, 100, 0)
+	res, err := BruteForce(context.Background(), p, 100, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestBruteForceRespectsEvalBudget(t *testing.T) {
 func TestBruteForceRespectsTimeBudget(t *testing.T) {
 	p := workload.MustCS(2, 128)
 	start := time.Now()
-	res, err := BruteForce(p, 0, 20*time.Millisecond)
+	res, err := BruteForce(context.Background(), p, 0, 20*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestAFLFindsCoverage(t *testing.T) {
 	cfg := DefaultAFLConfig()
 	cfg.MaxEvals = 3000
 	cfg.Seed = 9
-	res, err := AFL(p, cfg)
+	res, err := AFL(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestAFLWeakerThanKondoPerEval(t *testing.T) {
 	aflCfg := DefaultAFLConfig()
 	aflCfg.MaxEvals = budget
 	aflCfg.Seed = 4
-	aflRes, err := AFL(p, aflCfg)
+	aflRes, err := AFL(context.Background(), p, aflCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestAFLWeakerThanKondoPerEval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kres, err := f.Run()
+	kres, err := f.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestSimpleConvexCoversButOverApproximates(t *testing.T) {
 	p := workload.MustLDC(128, 128)
 	cfg := fuzz.DefaultConfig()
 	cfg.Seed = 5
-	res, err := SimpleConvex(p, cfg)
+	res, err := SimpleConvex(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package baseline
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/array"
@@ -32,8 +33,12 @@ type Result struct {
 // lexicographic order, recording accessed indices, until the budget
 // runs out (paper §V-C: "BF computes the true and precise result, if
 // given sufficient time"). A zero maxEvals or timeBudget leaves that
-// limit off.
-func BruteForce(p workload.Program, maxEvals int, timeBudget time.Duration) (*Result, error) {
+// limit off. Canceling the context stops the enumeration promptly and
+// returns the partial result.
+func BruteForce(ctx context.Context, p workload.Program, maxEvals int, timeBudget time.Duration) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	var deadline time.Time
 	if timeBudget > 0 {
@@ -51,9 +56,15 @@ func BruteForce(p workload.Program, maxEvals int, timeBudget time.Duration) (*Re
 			res.Exhausted = false
 			return false
 		}
-		if !deadline.IsZero() && res.Evaluations%deadlineEvery == 0 && time.Now().After(deadline) {
-			res.Exhausted = false
-			return false
+		if res.Evaluations%deadlineEvery == 0 {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				res.Exhausted = false
+				return false
+			}
+			if ctx.Err() != nil {
+				res.Exhausted = false
+				return false
+			}
 		}
 		if err := p.Run(v, env); err != nil {
 			runErr = err
@@ -72,9 +83,13 @@ func BruteForce(p workload.Program, maxEvals int, timeBudget time.Duration) (*Re
 
 // BruteForceUntil enumerates Θ lexicographically like BruteForce but
 // invokes stop every checkEvery evaluations with the accumulated
-// result; enumeration halts when stop returns true. It is the
-// incremental driver behind the Fig. 10 time-to-recall comparison.
-func BruteForceUntil(p workload.Program, checkEvery int, stop func(*Result) bool) (*Result, error) {
+// result; enumeration halts when stop returns true or the context is
+// canceled. It is the incremental driver behind the Fig. 10
+// time-to-recall comparison.
+func BruteForceUntil(ctx context.Context, p workload.Program, checkEvery int, stop func(*Result) bool) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if checkEvery <= 0 {
 		checkEvery = 64
 	}
@@ -92,7 +107,7 @@ func BruteForceUntil(p workload.Program, checkEvery int, stop func(*Result) bool
 		if res.Evaluations%checkEvery == 0 {
 			res.Indices = acc.Accessed()
 			res.Elapsed = time.Since(start)
-			if stop(res) {
+			if stop(res) || ctx.Err() != nil {
 				res.Exhausted = false
 				return false
 			}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/array"
@@ -24,13 +25,13 @@ type SCResult struct {
 // hull over all observed points, with no cell split and no merge
 // thresholds — the SC baseline of §V-C used to show why the bottom-up
 // merging carver matters for precision (Fig. 8).
-func SimpleConvex(p workload.Program, cfg fuzz.Config) (*SCResult, error) {
+func SimpleConvex(ctx context.Context, p workload.Program, cfg fuzz.Config) (*SCResult, error) {
 	start := time.Now()
 	f, err := fuzz.ForProgram(p, cfg)
 	if err != nil {
 		return nil, err
 	}
-	fres, err := f.Run()
+	fres, err := f.Run(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -116,6 +117,10 @@ type Options struct {
 	// Quick trims the heaviest experiments (fewer sweep points,
 	// smaller maxima).
 	Quick bool
+	// Workers is the fuzz worker-pool size per campaign (0 = one
+	// worker per available CPU). The experiment outcomes are
+	// worker-count independent; only wall-clock changes.
+	Workers int
 }
 
 // DefaultOptions mirrors §V-B/§V-C.
@@ -143,8 +148,9 @@ func QuickOptions() Options {
 	}
 }
 
-// Runner is one experiment.
-type Runner func(Options) (*Report, error)
+// Runner is one experiment. The context cancels the experiment's
+// campaigns; a canceled run returns the context's error.
+type Runner func(context.Context, Options) (*Report, error)
 
 // registry maps experiment ids to runners.
 var registry = map[string]struct {
@@ -178,13 +184,16 @@ func Experiments() []string {
 	return out
 }
 
-// Run executes one experiment by id.
-func Run(id string, opts Options) (*Report, error) {
+// Run executes one experiment by id under the given context.
+func Run(ctx context.Context, id string, opts Options) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(Experiments(), ", "))
 	}
-	rep, err := e.run(opts)
+	rep, err := e.run(ctx, opts)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", id, err)
 	}
@@ -248,11 +257,12 @@ func forEachProgram(programs []workload.Program, fn func(p workload.Program) ([]
 
 // kondoRun executes one seeded Kondo pipeline run under the eval
 // budget and returns the rasterized approximation plus timings.
-func kondoRun(p workload.Program, opts Options, seed int64) (*kondo.Result, error) {
+func kondoRun(ctx context.Context, p workload.Program, opts Options, seed int64) (*kondo.Result, error) {
 	cfg := kondo.DefaultConfig()
 	cfg.Fuzz.Seed = seed
 	cfg.Fuzz.MaxEvals = opts.EvalBudget
-	return kondo.Debloat(p, cfg)
+	cfg.Fuzz.Workers = opts.Workers
+	return kondo.Debloat(ctx, p, cfg)
 }
 
 // avg returns the mean of the values.
@@ -327,5 +337,6 @@ func fuzzCfg(opts Options, seed int64) fuzz.Config {
 	cfg := fuzz.DefaultConfig()
 	cfg.Seed = seed
 	cfg.MaxEvals = opts.EvalBudget
+	cfg.Workers = opts.Workers
 	return cfg
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, id := range Experiments() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			rep, err := Run(id, opts)
+			rep, err := Run(context.Background(), id, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -38,7 +39,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if _, err := Run("nope", QuickOptions()); err == nil {
+	if _, err := Run(context.Background(), "nope", QuickOptions()); err == nil {
 		t.Error("unknown experiment should error")
 	}
 }
@@ -47,7 +48,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // scale: Kondo recall ≥ BF recall and Kondo recall ≥ AFL recall per
 // micro benchmark, with Kondo close to 1.
 func TestFig7Shape(t *testing.T) {
-	rep, err := Run("fig7", QuickOptions())
+	rep, err := Run(context.Background(), "fig7", QuickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestFig7Shape(t *testing.T) {
 // TestFig8Shape asserts Kondo's precision dominates SC's on the
 // separated-region programs.
 func TestFig8Shape(t *testing.T) {
-	rep, err := Run("fig8", QuickOptions())
+	rep, err := Run(context.Background(), "fig8", QuickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestFig8Shape(t *testing.T) {
 // TestFig6Shape asserts the merge carver beats the single hull on the
 // synthetic cluster demo.
 func TestFig6Shape(t *testing.T) {
-	rep, err := Run("fig6", QuickOptions())
+	rep, err := Run(context.Background(), "fig6", QuickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

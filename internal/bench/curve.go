@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baseline"
@@ -12,7 +13,7 @@ import (
 // Curve traces recall as a function of the number of debloat tests for
 // Kondo, BF and AFL on one program — the trajectory underlying the
 // Fig. 7 endpoints and the Fig. 10 budget gaps.
-func Curve(opts Options) (*Report, error) {
+func Curve(ctx context.Context, opts Options) (*Report, error) {
 	p := workload.MustCS(2, opts.Size2D)
 	gt, err := groundTruth(p)
 	if err != nil {
@@ -40,7 +41,7 @@ func Curve(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	kres, err := f.Run()
+	kres, err := f.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +62,7 @@ func Curve(opts Options) (*Report, error) {
 	// BF: sample recall at each checkpoint via the incremental driver.
 	bfAt := make(map[int]float64)
 	next := step
-	_, err = baseline.BruteForceUntil(p, step, func(r *baseline.Result) bool {
+	_, err = baseline.BruteForceUntil(ctx, p, step, func(r *baseline.Result) bool {
 		if r.Evaluations >= next {
 			bfAt[next] = metrics.Recall(gt, r.Indices)
 			next += step
@@ -86,7 +87,7 @@ func Curve(opts Options) (*Report, error) {
 		}
 		return false
 	}
-	ares, err := baseline.AFL(p, acfg)
+	ares, err := baseline.AFL(ctx, p, acfg)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +99,7 @@ func Curve(opts Options) (*Report, error) {
 	carvedAt := func(tests int) (float64, error) {
 		cOpts := opts
 		cOpts.EvalBudget = tests
-		res, err := kondoRun(p, cOpts, opts.Seed)
+		res, err := kondoRun(ctx, p, cOpts, opts.Seed)
 		if err != nil {
 			return 0, err
 		}

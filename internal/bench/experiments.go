@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -16,7 +17,7 @@ import (
 // TableI renders the access-pattern stencils of the four
 // micro-benchmarks as ASCII down-samples of their ground-truth
 // subsets.
-func TableI(opts Options) (*Report, error) {
+func TableI(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		Columns: []string{"program", "stencil", "subset density"},
 	}
@@ -54,7 +55,7 @@ func TableI(opts Options) (*Report, error) {
 
 // TableII lists the 11 benchmark programs with their parameter spaces
 // and ground-truth subsets.
-func TableII(opts Options) (*Report, error) {
+func TableII(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		Columns: []string{"program", "#params", "|Θ|", "array", "|I_Θ|", "ground-truth bloat"},
 	}
@@ -77,7 +78,7 @@ func TableII(opts Options) (*Report, error) {
 
 // Fig7 compares average recall at a fixed debloat-test budget across
 // Kondo, BF and AFL on the four micro-benchmarks.
-func Fig7(opts Options) (*Report, error) {
+func Fig7(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		Columns: []string{"program", "Kondo recall", "±σ", "BF recall", "AFL recall", "budget (tests)", "Kondo time"},
 		Notes: []string{
@@ -89,7 +90,7 @@ func Fig7(opts Options) (*Report, error) {
 		var kondoRecalls, bfRecalls, aflRecalls []float64
 		var kondoTime time.Duration
 		for r := 0; r < opts.Runs; r++ {
-			res, err := kondoRun(p, opts, opts.Seed+int64(r))
+			res, err := kondoRun(ctx, p, opts, opts.Seed+int64(r))
 			if err != nil {
 				return nil, err
 			}
@@ -100,7 +101,7 @@ func Fig7(opts Options) (*Report, error) {
 			kondoRecalls = append(kondoRecalls, pr.Recall)
 			kondoTime += res.Elapsed()
 
-			bf, err := baseline.BruteForce(p, opts.EvalBudget, 0)
+			bf, err := baseline.BruteForce(ctx, p, opts.EvalBudget, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -114,7 +115,7 @@ func Fig7(opts Options) (*Report, error) {
 			cfg := baseline.DefaultAFLConfig()
 			cfg.MaxEvals = opts.EvalBudget
 			cfg.Seed = opts.Seed + int64(r)
-			afl, err := baseline.AFL(p, cfg)
+			afl, err := baseline.AFL(ctx, p, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -138,7 +139,7 @@ func Fig7(opts Options) (*Report, error) {
 }
 
 // Fig8 compares precision per program across Kondo, BF, AFL and SC.
-func Fig8(opts Options) (*Report, error) {
+func Fig8(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		Columns: []string{"program", "Kondo prec", "BF prec", "AFL prec", "SC prec"},
 		Notes: []string{
@@ -149,7 +150,7 @@ func Fig8(opts Options) (*Report, error) {
 	rows, err := forEachProgram(allPrograms(opts), func(p workload.Program) ([]string, error) {
 		var kPrec, scPrec []float64
 		for r := 0; r < opts.Runs; r++ {
-			res, err := kondoRun(p, opts, opts.Seed+int64(r))
+			res, err := kondoRun(ctx, p, opts, opts.Seed+int64(r))
 			if err != nil {
 				return nil, err
 			}
@@ -159,7 +160,7 @@ func Fig8(opts Options) (*Report, error) {
 			}
 			kPrec = append(kPrec, pr.Precision)
 
-			sc, err := baseline.SimpleConvex(p, fuzzCfg(opts, opts.Seed+int64(r)))
+			sc, err := baseline.SimpleConvex(ctx, p, fuzzCfg(opts, opts.Seed+int64(r)))
 			if err != nil {
 				return nil, err
 			}
@@ -180,7 +181,7 @@ func Fig8(opts Options) (*Report, error) {
 
 // Fig9 compares the fraction of data bloat Kondo identifies with the
 // ground-truth bloat fraction per program.
-func Fig9(opts Options) (*Report, error) {
+func Fig9(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		Columns: []string{"program", "Kondo bloat", "ground-truth bloat"},
 		Notes:   []string{"Kondo bloat = |I − I'_Θ| / |I| (paper reports 63% average)"},
@@ -194,7 +195,7 @@ func Fig9(opts Options) (*Report, error) {
 	rows, err := forEachProgram(programs, func(p workload.Program) ([]string, error) {
 		var bloats []float64
 		for r := 0; r < opts.Runs; r++ {
-			res, err := kondoRun(p, opts, opts.Seed+int64(r))
+			res, err := kondoRun(ctx, p, opts, opts.Seed+int64(r))
 			if err != nil {
 				return nil, err
 			}
@@ -219,7 +220,7 @@ func Fig9(opts Options) (*Report, error) {
 
 // Fig10 measures how much budget the baselines need to reach the
 // recall Kondo achieves.
-func Fig10(opts Options) (*Report, error) {
+func Fig10(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		Columns: []string{"program", "Kondo recall", "Kondo tests", "Kondo time",
 			"BF tests", "BF time", "BF reached", "AFL tests", "AFL time", "AFL reached"},
@@ -233,7 +234,7 @@ func Fig10(opts Options) (*Report, error) {
 		aflCap = 20 * opts.EvalBudget
 	}
 	for _, p := range micro(opts) {
-		res, err := kondoRun(p, opts, opts.Seed)
+		res, err := kondoRun(ctx, p, opts, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -247,7 +248,7 @@ func Fig10(opts Options) (*Report, error) {
 			return nil, err
 		}
 
-		bf, err := baseline.BruteForceUntil(p, 128, func(r *baseline.Result) bool {
+		bf, err := baseline.BruteForceUntil(ctx, p, 128, func(r *baseline.Result) bool {
 			return metrics.Recall(gt, r.Indices) >= target
 		})
 		if err != nil {
@@ -262,7 +263,7 @@ func Fig10(opts Options) (*Report, error) {
 		aflCfg.Progress = func(r *baseline.Result) bool {
 			return metrics.Recall(gt, r.Indices) >= target
 		}
-		afl, err := baseline.AFL(p, aflCfg)
+		afl, err := baseline.AFL(ctx, p, aflCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -280,7 +281,7 @@ func Fig10(opts Options) (*Report, error) {
 
 // TableIII evaluates Kondo and BF on the ARD and MSI real-application
 // models.
-func TableIII(opts Options) (*Report, error) {
+func TableIII(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		Columns: []string{"program", "Θ", "array", "Kondo prec", "Kondo recall",
 			"BF prec", "BF recall", "Kondo % debloat"},
@@ -295,7 +296,8 @@ func TableIII(opts Options) (*Report, error) {
 		cfg.Fuzz.Seed = opts.Seed
 		cfg.Fuzz.MaxEvals = budget
 		cfg.Fuzz.MaxIter = 2 * budget
-		res, err := kondo.Debloat(p, cfg)
+		cfg.Fuzz.Workers = opts.Workers
+		res, err := kondo.Debloat(ctx, p, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -303,7 +305,7 @@ func TableIII(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		bf, err := baseline.BruteForce(p, budget, 0)
+		bf, err := baseline.BruteForce(ctx, p, budget, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -328,10 +330,11 @@ func TableIII(opts Options) (*Report, error) {
 }
 
 // kondoRunWithCarve runs the pipeline with a custom carve config.
-func kondoRunWithCarve(p workload.Program, opts Options, seed int64, carveCfg carve.Config) (*kondo.Result, error) {
+func kondoRunWithCarve(ctx context.Context, p workload.Program, opts Options, seed int64, carveCfg carve.Config) (*kondo.Result, error) {
 	cfg := kondo.DefaultConfig()
 	cfg.Fuzz.Seed = seed
 	cfg.Fuzz.MaxEvals = opts.EvalBudget
+	cfg.Fuzz.Workers = opts.Workers
 	cfg.Carve = carveCfg
-	return kondo.Debloat(p, cfg)
+	return kondo.Debloat(ctx, p, cfg)
 }

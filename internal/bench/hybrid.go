@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fuzz"
@@ -13,7 +14,7 @@ import (
 // secondary budget on an AFL-style havoc phase and merge any extra
 // offsets it finds. Run with deliberately tight primary budgets so
 // there is recall left to recover.
-func Hybrid(opts Options) (*Report, error) {
+func Hybrid(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		Columns: []string{"program", "primary tests", "Kondo recall", "hybrid recall", "AFL added"},
 		Notes: []string{
@@ -38,11 +39,11 @@ func Hybrid(opts Options) (*Report, error) {
 		fcfg.Seed = opts.Seed
 		fcfg.MaxEvals = primary
 
-		pure, err := hybrid.Run(p, hybrid.Config{Fuzz: fcfg})
+		pure, err := hybrid.Run(ctx, p, hybrid.Config{Fuzz: fcfg})
 		if err != nil {
 			return nil, err
 		}
-		hyb, err := hybrid.Run(p, hybrid.Config{Fuzz: fcfg, AFLBudget: secondary, AFLSeed: opts.Seed})
+		hyb, err := hybrid.Run(ctx, p, hybrid.Config{Fuzz: fcfg, AFLBudget: secondary, AFLSeed: opts.Seed})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -82,11 +83,11 @@ func (*sentinelError) Error() string { return "sentinel" }
 func TestKondoRunDeterministic(t *testing.T) {
 	opts := QuickOptions()
 	p := workload.MustCS(2, 64)
-	a, err := kondoRun(p, opts, 42)
+	a, err := kondoRun(context.Background(), p, opts, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := kondoRun(p, opts, 42)
+	b, err := kondoRun(context.Background(), p, opts, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestKondoRunDeterministic(t *testing.T) {
 	if a.Fuzz.Evaluations != b.Fuzz.Evaluations {
 		t.Error("same-seed runs used different numbers of evaluations")
 	}
-	c, err := kondoRun(p, opts, 43)
+	c, err := kondoRun(context.Background(), p, opts, 43)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -22,7 +23,7 @@ import (
 // Fig4 contrasts the plain exploit-and-explore schedule with the
 // boundary-based schedule on the same budget, reporting how the
 // evaluated parameter values distribute around the subset boundary.
-func Fig4(opts Options) (*Report, error) {
+func Fig4(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		Columns: []string{"schedule", "tests", "useful", "non-useful",
 			"near-boundary", "clusters(u/n)", "|IS|"},
@@ -41,6 +42,7 @@ func Fig4(opts Options) (*Report, error) {
 		cfg.Seed = opts.Seed
 		cfg.MaxEvals = runs
 		cfg.MaxIter = 4 * runs
+		cfg.Workers = opts.Workers
 		cfg.StopIter = 0 // fixed-budget campaign, as in the figure
 		cfg.Boundary = boundary
 		if boundary {
@@ -52,7 +54,7 @@ func Fig4(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := f.Run()
+		res, err := f.Run(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +84,7 @@ func Fig4(opts Options) (*Report, error) {
 // Fig6 demonstrates the merge algorithm on a synthetic three-cluster
 // point set: per-cell hulls, the merged hull set, and the single-hull
 // baseline.
-func Fig6(opts Options) (*Report, error) {
+func Fig6(ctx context.Context, opts Options) (*Report, error) {
 	space := array.MustSpace(96, 96)
 	truth := array.NewIndexSet(space)
 	// Three clusters: two close together (they should merge), one far
@@ -135,7 +137,7 @@ func Fig6(opts Options) (*Report, error) {
 
 // Fig11a sweeps the data file size for the CS3 program (the paper's
 // lowest-recall benchmark) and reports precision/recall stability.
-func Fig11a(opts Options) (*Report, error) {
+func Fig11a(ctx context.Context, opts Options) (*Report, error) {
 	sizes := []int{128, 256, 512, 1024, 2048}
 	if opts.Quick {
 		sizes = []int{64, 128, 256}
@@ -164,13 +166,14 @@ func Fig11a(opts Options) (*Report, error) {
 			cfg := kondo.DefaultConfig()
 			cfg.Fuzz.Seed = opts.Seed + int64(r)
 			cfg.Fuzz.MaxEvals = opts.EvalBudget
+			cfg.Fuzz.Workers = opts.Workers
 			cfg.Fuzz.UsefulDist = [2]float64{5 * scale, 15 * scale}
 			cfg.Fuzz.NonUsefulDist = [2]float64{30 * scale, 50 * scale}
 			cfg.Fuzz.Diameter = 20 * scale
 			cfg.Carve.CellSize = int(16 * scale)
 			cfg.Carve.CenterDistThresh = 20 * scale
 			cfg.Carve.BoundaryDistThresh = 10 * scale
-			res, err := kondo.Debloat(p, cfg)
+			res, err := kondo.Debloat(ctx, p, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -194,7 +197,7 @@ func Fig11a(opts Options) (*Report, error) {
 
 // Fig11bc sweeps center_d_thresh and reports precision (Fig. 11b) and
 // recall (Fig. 11c) averaged over the micro-benchmarks.
-func Fig11bc(opts Options) (*Report, error) {
+func Fig11bc(ctx context.Context, opts Options) (*Report, error) {
 	thresholds := []float64{5, 10, 20, 40, 80, 160}
 	if opts.Quick {
 		thresholds = []float64{5, 20, 160}
@@ -223,7 +226,7 @@ func Fig11bc(opts Options) (*Report, error) {
 		var precs, recalls []float64
 		for _, p := range programs {
 			for r := 0; r < minInt(opts.Runs, 3); r++ {
-				res, err := kondoRunWithCarve(p, sweepOpts, opts.Seed+int64(r), carveCfgFor(th))
+				res, err := kondoRunWithCarve(ctx, p, sweepOpts, opts.Seed+int64(r), carveCfgFor(th))
 				if err != nil {
 					return nil, err
 				}
@@ -249,13 +252,13 @@ func maxInt(a, b int) int {
 
 // Missed reports the §V-D1 measure: the percentage of parameter
 // valuations whose run would touch at least one carved-away index.
-func Missed(opts Options) (*Report, error) {
+func Missed(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		Columns: []string{"program", "missed valuations"},
 		Notes:   []string{"paper reports 0.0%–0.8% across programs"},
 	}
 	rows, err := forEachProgram(allPrograms(opts), func(p workload.Program) ([]string, error) {
-		res, err := kondoRun(p, opts, opts.Seed)
+		res, err := kondoRun(ctx, p, opts, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -275,7 +278,7 @@ func Missed(opts Options) (*Report, error) {
 // Audit measures the I/O event audit overhead (§V-D6): the same
 // program runs against a real data file with and without the trace
 // layer, over growing file sizes.
-func Audit(opts Options) (*Report, error) {
+func Audit(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		Columns: []string{"program", "array", "events", "untraced", "traced", "overhead"},
 		Notes: []string{

@@ -16,6 +16,10 @@ import (
 	"time"
 )
 
+// DefaultBatchSize is the number of seeds drained per schedule round
+// when Config.BatchSize is zero.
+const DefaultBatchSize = 32
+
 // Config holds the fuzz-schedule parameters of paper Fig. 5. The
 // defaults are the evaluation configuration of §V-B.
 type Config struct {
@@ -70,6 +74,19 @@ type Config struct {
 	// some more time") starts from what is already known instead of
 	// from scratch.
 	InitialValues [][]float64
+	// Workers bounds the worker pool that runs debloat tests
+	// concurrently within a batch. Zero or negative resolves to
+	// runtime.GOMAXPROCS(0). The worker count changes only wall-clock
+	// time: for a fixed Seed the campaign outcome is bit-identical at
+	// any Workers value. Workers > 1 requires an Evaluator that is
+	// safe for concurrent use.
+	Workers int
+	// BatchSize is the number of seeds drained from the queue per
+	// schedule round and evaluated concurrently. It is deliberately
+	// independent of Workers so the schedule (batch composition and
+	// RNG stream) never depends on the degree of parallelism. Zero
+	// resolves to DefaultBatchSize.
+	BatchSize int
 }
 
 // DefaultConfig returns the §V-B configuration: u_reps=8, n_reps=5,

@@ -1,9 +1,13 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/array"
@@ -14,6 +18,12 @@ import (
 // Evaluator is the debloat test (paper Def. 2): given a parameter
 // value it returns the index subset I_v the audited program accesses.
 // An empty set marks the value as not useful.
+//
+// When Config.Workers resolves to more than one, the evaluator is
+// called from multiple goroutines concurrently and must be safe for
+// concurrent use. Evaluators built from workload programs
+// (ForProgram, workload.RunOnVirtual) are safe: each call runs against
+// its own accessor.
 type Evaluator func(v []float64) (*array.IndexSet, error)
 
 // SeedRecord is one evaluated parameter value, retained for the Fig. 4
@@ -23,17 +33,54 @@ type SeedRecord struct {
 	Useful bool
 }
 
+// EvalFailure records one debloat test that returned an error. The
+// campaign skips the failing seed and keeps the accumulated index set;
+// Run returns an error only when every attempted evaluation failed.
+type EvalFailure struct {
+	V   []float64
+	Err error
+}
+
+// StopReason states why a campaign ended.
+type StopReason string
+
+const (
+	// StopMaxIter: the MaxIter schedule-iteration cap was reached.
+	StopMaxIter StopReason = "max-iter"
+	// StopIdle: StopIter consecutive evaluated iterations found no new
+	// offset.
+	StopIdle StopReason = "stop-iter"
+	// StopBudget: the MaxEvals debloat-test budget was spent.
+	StopBudget StopReason = "max-evals"
+	// StopDeadline: the TimeBudget wall-clock deadline passed.
+	StopDeadline StopReason = "deadline"
+	// StopCanceled: the campaign context was canceled (or hit its own
+	// deadline).
+	StopCanceled StopReason = "canceled"
+	// StopExhausted: every integer valuation of Θ has been evaluated —
+	// nothing is left to test.
+	StopExhausted StopReason = "exhausted"
+)
+
 // Result is the outcome of a fuzz campaign.
 type Result struct {
 	// Indices is IS = ∪ I_v over all evaluated seeds — the carver's
 	// input.
 	Indices *array.IndexSet
-	// Seeds are the evaluated parameter values in evaluation order.
+	// Seeds are the evaluated parameter values in schedule order.
 	Seeds []SeedRecord
-	// Iterations is the number of schedule iterations executed.
+	// Iterations is the number of schedule iterations executed (seeds
+	// evaluated or failed; deduplicated seeds consume no iteration).
 	Iterations int
-	// Evaluations is the number of debloat tests run (= p of Def. 3).
+	// Evaluations is the number of debloat tests that ran successfully
+	// (= p of Def. 3).
 	Evaluations int
+	// Failures are the debloat tests that errored; their seeds were
+	// skipped without aborting the campaign.
+	Failures []EvalFailure
+	// DedupSkips counts seeds dropped because their integer valuation
+	// had already been evaluated (Alg. 1 line 19).
+	DedupSkips int
 	// Useful and NonUseful count seed verdicts.
 	Useful, NonUseful int
 	// UsefulClusters and NonUsefulClusters count the clusters formed.
@@ -43,6 +90,19 @@ type Result struct {
 	Curve []int
 	// Elapsed is the campaign's wall-clock duration.
 	Elapsed time.Duration
+	// EvalWall is the summed wall-clock time spent inside the
+	// evaluator across all workers; it exceeds Elapsed when the pool
+	// actually ran evaluations in parallel.
+	EvalWall time.Duration
+	// Workers is the resolved worker count the campaign ran with.
+	Workers int
+	// Batches is the number of seed batches dispatched to the pool.
+	Batches int
+	// MaxQueueDepth is the high-water mark of the pending-mutant
+	// queue.
+	MaxQueueDepth int
+	// StopReason states why the campaign ended.
+	StopReason StopReason
 }
 
 // Fuzzer runs Alg. 1 against one program's parameter space.
@@ -77,10 +137,42 @@ func ForProgram(p workload.Program, cfg Config) (*Fuzzer, error) {
 	return New(p.Params(), p.Space(), eval, cfg)
 }
 
+// evalOut is one worker's verdict for one batch slot.
+type evalOut struct {
+	iv      *array.IndexSet
+	err     error
+	dur     time.Duration
+	skipped bool // canceled before the evaluator ran
+}
+
 // Run executes the fuzz schedule (Alg. 1) and returns the accumulated
 // index observations.
-func (f *Fuzzer) Run() (*Result, error) {
+//
+// Each schedule round drains a deterministic batch of seeds from the
+// queue and evaluates it through a bounded worker pool; per-seed
+// results are then merged sequentially in seed order, so a fixed
+// Config.Seed yields bit-identical results at any worker count (the
+// batch composition and the RNG stream depend only on the
+// configuration, never on Workers).
+//
+// Cancellation stops the campaign within the current batch: Run
+// returns the partial result accumulated so far with a nil error and
+// StopReason set to StopCanceled. A failing debloat test is recorded
+// in Result.Failures and skipped; Run returns an error only when every
+// attempted evaluation failed.
+func (f *Fuzzer) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := f.cfg
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	batchSize := cfg.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	start := time.Now()
 	var deadline time.Time
@@ -88,18 +180,25 @@ func (f *Fuzzer) Run() (*Result, error) {
 		deadline = start.Add(cfg.TimeBudget)
 	}
 
-	res := &Result{Indices: array.NewIndexSet(f.space)}
+	res := &Result{Indices: array.NewIndexSet(f.space), Workers: workers}
 	clUseful := newClusterSet(cfg.Diameter)
 	clNonUseful := newClusterSet(cfg.Diameter)
 	evaluated := make(map[string]bool)
+	totalVals := f.params.Valuations()
 	var queue [][]float64
 	eps := cfg.Epsilon
-	idleIters := 0 // new_itr: iterations since the last new offset
+	idleIters := 0 // new_itr: evaluated iterations since the last new offset
+	itr := 0       // schedule iterations = seeds handed to the evaluator
 
-	randomRestart := func() {
-		queue = queue[:0]
+	// reseed adds n fresh uniform samples. It never clears the queue:
+	// Alg. 1's restart re-seeds exploration but keeps the pending
+	// boundary-mutant frontier.
+	reseed := func() {
 		for i := 0; i < cfg.InitialSeeds; i++ {
 			queue = append(queue, f.params.Sample(rng))
+		}
+		if len(queue) > res.MaxQueueDepth {
+			res.MaxQueueDepth = len(queue)
 		}
 	}
 
@@ -111,73 +210,183 @@ func (f *Fuzzer) Run() (*Result, error) {
 		}
 	}
 
-	for itr := 1; itr <= cfg.MaxIter; itr++ {
+	stop := StopMaxIter // reason when the for condition ends the loop
+	batch := make([][]float64, 0, batchSize)
+loop:
+	for itr < cfg.MaxIter {
 		if cfg.StopIter > 0 && idleIters >= cfg.StopIter {
+			stop = StopIdle
 			break
 		}
 		if cfg.MaxEvals > 0 && res.Evaluations >= cfg.MaxEvals {
+			stop = StopBudget
 			break
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			stop = StopDeadline
 			break
 		}
-		res.Iterations = itr
-
-		if len(queue) == 0 || (cfg.Restart > 0 && itr%cfg.Restart == 0) {
-			randomRestart()
-		}
-		v := queue[0]
-		queue = queue[1:]
-
-		key := seedKey(v)
-		if evaluated[key] {
-			idleIters++
-			continue
-		}
-		evaluated[key] = true
-
-		iv, err := f.eval(v)
-		if err != nil {
-			return nil, fmt.Errorf("fuzz: debloat test at %v: %w", v, err)
-		}
-		res.Evaluations++
-		useful := !iv.Empty()
-
-		before := res.Indices.Len()
-		res.Indices.UnionWith(iv)
-		if res.Indices.Len() > before {
-			idleIters = 0
-		} else {
-			idleIters++
-		}
-		res.Curve = append(res.Curve, res.Indices.Len())
-
-		res.Seeds = append(res.Seeds, SeedRecord{V: append([]float64(nil), v...), Useful: useful})
-		vp := geom.Point(v)
-		if useful {
-			res.Useful++
-			clUseful.add(vp)
-		} else {
-			res.NonUseful++
-			clNonUseful.add(vp)
+		if ctx.Err() != nil {
+			stop = StopCanceled
+			break
 		}
 
-		for _, mutant := range f.mutate(vp, useful, eps, clUseful, clNonUseful, rng) {
-			mk := seedKey(mutant)
-			if !evaluated[mk] {
-				queue = append(queue, mutant)
+		// Select the round's batch: pop seeds in queue order, dropping
+		// already-evaluated valuations, refilling with fresh uniform
+		// samples when the queue drains. The batch size is bounded by
+		// the remaining iteration and evaluation budgets and is
+		// independent of the worker count.
+		want := batchSize
+		if left := cfg.MaxIter - itr; left < want {
+			want = left
+		}
+		if cfg.MaxEvals > 0 {
+			if left := cfg.MaxEvals - res.Evaluations; left < want {
+				want = left
 			}
 		}
+		batch = batch[:0]
+		for len(batch) < want {
+			if len(queue) == 0 {
+				if int64(len(evaluated)) >= totalVals {
+					break // Θ exhausted: no fresh sample exists
+				}
+				reseed()
+				continue
+			}
+			v := queue[0]
+			queue = queue[1:]
+			key := seedKey(v)
+			if evaluated[key] {
+				// Already-seen valuations cost no debloat test; they
+				// must not count toward the no-new-offset stop.
+				res.DedupSkips++
+				continue
+			}
+			evaluated[key] = true
+			batch = append(batch, v)
+		}
+		if len(batch) == 0 {
+			stop = StopExhausted
+			break
+		}
 
-		if cfg.DecayIter > 0 && itr%cfg.DecayIter == 0 {
-			eps *= cfg.Decay
+		res.Batches++
+		outs := f.evalBatch(ctx, workers, batch)
+
+		// Merge in seed order. Only this sequential phase touches the
+		// RNG, the clusters, and the accumulated state, so the outcome
+		// is independent of how the pool interleaved the evaluations.
+		for i, v := range batch {
+			out := outs[i]
+			if out.skipped {
+				stop = StopCanceled
+				break loop
+			}
+			itr++
+			res.Iterations = itr
+			res.EvalWall += out.dur
+			if out.err != nil {
+				res.Failures = append(res.Failures, EvalFailure{
+					V:   append([]float64(nil), v...),
+					Err: out.err,
+				})
+				idleIters++
+			} else {
+				res.Evaluations++
+				useful := !out.iv.Empty()
+
+				before := res.Indices.Len()
+				res.Indices.UnionWith(out.iv)
+				if res.Indices.Len() > before {
+					idleIters = 0
+				} else {
+					idleIters++
+				}
+				res.Curve = append(res.Curve, res.Indices.Len())
+
+				res.Seeds = append(res.Seeds, SeedRecord{V: append([]float64(nil), v...), Useful: useful})
+				vp := geom.Point(v)
+				if useful {
+					res.Useful++
+					clUseful.add(vp)
+				} else {
+					res.NonUseful++
+					clNonUseful.add(vp)
+				}
+
+				for _, mutant := range f.mutate(vp, useful, eps, clUseful, clNonUseful, rng) {
+					if !evaluated[seedKey(mutant)] {
+						queue = append(queue, mutant)
+					}
+				}
+				if len(queue) > res.MaxQueueDepth {
+					res.MaxQueueDepth = len(queue)
+				}
+			}
+
+			if cfg.DecayIter > 0 && itr%cfg.DecayIter == 0 {
+				eps *= cfg.Decay
+			}
+			if cfg.Restart > 0 && itr%cfg.Restart == 0 {
+				reseed()
+			}
 		}
 	}
+	res.StopReason = stop
 
 	res.UsefulClusters = clUseful.size()
 	res.NonUsefulClusters = clNonUseful.size()
 	res.Elapsed = time.Since(start)
+	if res.Evaluations == 0 && len(res.Failures) > 0 {
+		first := res.Failures[0]
+		return nil, fmt.Errorf("fuzz: every debloat test failed (%d failures); first at %v: %w",
+			len(res.Failures), first.V, first.Err)
+	}
 	return res, nil
+}
+
+// evalBatch evaluates one batch through the worker pool, returning
+// per-slot outcomes aligned with the batch. With a single worker the
+// batch runs inline on the calling goroutine, preserving the
+// sequential campaign's execution environment exactly.
+func (f *Fuzzer) evalBatch(ctx context.Context, workers int, batch [][]float64) []evalOut {
+	outs := make([]evalOut, len(batch))
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	runOne := func(i int) {
+		if ctx.Err() != nil {
+			outs[i].skipped = true
+			return
+		}
+		t0 := time.Now()
+		iv, err := f.eval(batch[i])
+		outs[i] = evalOut{iv: iv, err: err, dur: time.Since(t0)}
+	}
+	if workers <= 1 {
+		for i := range batch {
+			runOne(i)
+		}
+		return outs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(batch) {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return outs
 }
 
 // mutate implements MUTATE of Alg. 1: with probability ε a plain

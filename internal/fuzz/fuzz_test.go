@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -90,7 +91,7 @@ func TestFuzzerFindsRectangle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Run()
+	res, err := f.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestFuzzerDeterministicWithSeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := f.Run()
+		res, err := f.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +160,7 @@ func TestFuzzerRespectsMaxEvals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Run()
+	res, err := f.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestFuzzerRespectsTimeBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	if _, err := f.Run(); err != nil {
+	if _, err := f.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if time.Since(start) > time.Second {
@@ -204,7 +205,7 @@ func TestFuzzerStopsWhenIdle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Run()
+	res, err := f.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,11 +226,12 @@ func TestFuzzerNeverEvaluatesSameValuationTwice(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Seed = 3
 	cfg.MaxIter = 1000
+	cfg.Workers = 1 // the evaluator mutates `seen` without a lock
 	f, err := New(params, space, eval, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Run(); err != nil {
+	if _, err := f.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for key, n := range seen {
@@ -250,12 +252,13 @@ func TestInitialValuesCorpusEvaluatedFirst(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Seed = 9
 	cfg.MaxIter = 50
+	cfg.Workers = 1 // the evaluator records arrival order
 	cfg.InitialValues = [][]float64{{3, 4}, {99, -5} /* clamped */, {7, 7}}
 	f, err := New(params, space, eval, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Run(); err != nil {
+	if _, err := f.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if len(order) < 3 {
@@ -273,7 +276,7 @@ func TestInitialValuesCorpusEvaluatedFirst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f2.Run(); err != nil {
+	if _, err := f2.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -294,7 +297,7 @@ func TestResumeImprovesOnColdStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res1, err := f1.Run()
+	res1, err := f1.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +316,7 @@ func TestResumeImprovesOnColdStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := f2.Run()
+	res2, err := f2.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +365,7 @@ func TestBoundaryScheduleConcentratesNearBoundary(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := f.Run()
+		res, err := f.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

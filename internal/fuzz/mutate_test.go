@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -88,6 +89,7 @@ func TestMutantsClampedIntoTheta(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Seed = 5
 	cfg.MaxIter = 300
+	cfg.Workers = 1 // the evaluator records every valuation
 	space := array.MustSpace(16, 16)
 	params := workload.ParamSpace{{Name: "x", Lo: 3, Hi: 12}, {Name: "y", Lo: 3, Hi: 12}}
 	var evaluated [][]float64
@@ -101,7 +103,7 @@ func TestMutantsClampedIntoTheta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Run(); err != nil {
+	if _, err := f.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range evaluated {
@@ -130,7 +132,7 @@ func TestFuzzerCurveMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Run()
+	res, err := f.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,319 @@
+package fuzz
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/workload"
+)
+
+// sameIndexSet reports whether two sets contain exactly the same
+// indices.
+func sameIndexSet(a, b *array.IndexSet) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	same := true
+	a.Each(func(ix array.Index) bool {
+		if !b.Contains(ix) {
+			same = false
+			return false
+		}
+		return true
+	})
+	return same
+}
+
+// TestDeterministicAcrossWorkerCounts is the tentpole contract: a fixed
+// Config.Seed yields bit-identical campaigns at any worker count.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	space := array.MustSpace(64, 64)
+	params := workload.ParamSpace{{Lo: 0, Hi: 63}, {Lo: 0, Hi: 63}}
+	run := func(workers int) *Result {
+		cfg := DefaultConfig()
+		cfg.Seed = 42
+		cfg.MaxIter = 600
+		cfg.Workers = workers
+		f, err := New(params, space, rectEvaluator(space, 10, 30, 10, 30), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		if got.Workers != workers {
+			t.Errorf("Workers=%d: result reports %d workers", workers, got.Workers)
+		}
+		if !sameIndexSet(ref.Indices, got.Indices) {
+			t.Errorf("Workers=%d: Indices differ (%d vs %d elements)",
+				workers, ref.Indices.Len(), got.Indices.Len())
+		}
+		if got.Evaluations != ref.Evaluations || got.Iterations != ref.Iterations {
+			t.Errorf("Workers=%d: evaluations/iterations %d/%d, want %d/%d",
+				workers, got.Evaluations, got.Iterations, ref.Evaluations, ref.Iterations)
+		}
+		if len(got.Curve) != len(ref.Curve) {
+			t.Fatalf("Workers=%d: curve length %d, want %d", workers, len(got.Curve), len(ref.Curve))
+		}
+		for i := range ref.Curve {
+			if got.Curve[i] != ref.Curve[i] {
+				t.Fatalf("Workers=%d: curve diverges at evaluation %d: %d vs %d",
+					workers, i, got.Curve[i], ref.Curve[i])
+			}
+		}
+		if len(got.Seeds) != len(ref.Seeds) {
+			t.Fatalf("Workers=%d: %d seeds, want %d", workers, len(got.Seeds), len(ref.Seeds))
+		}
+		for i := range ref.Seeds {
+			if got.Seeds[i].Useful != ref.Seeds[i].Useful {
+				t.Fatalf("Workers=%d: seed %d verdict differs", workers, i)
+			}
+			for k := range ref.Seeds[i].V {
+				if got.Seeds[i].V[k] != ref.Seeds[i].V[k] {
+					t.Fatalf("Workers=%d: seed %d value differs", workers, i)
+				}
+			}
+		}
+		if got.UsefulClusters != ref.UsefulClusters || got.NonUsefulClusters != ref.NonUsefulClusters {
+			t.Errorf("Workers=%d: clusters %d/%d, want %d/%d", workers,
+				got.UsefulClusters, got.NonUsefulClusters,
+				ref.UsefulClusters, ref.NonUsefulClusters)
+		}
+		if got.StopReason != ref.StopReason {
+			t.Errorf("Workers=%d: stop reason %q, want %q", workers, got.StopReason, ref.StopReason)
+		}
+	}
+}
+
+// TestCancellationReturnsPartialResult: canceling the context stops the
+// campaign within one batch and returns the work done so far.
+func TestCancellationReturnsPartialResult(t *testing.T) {
+	space := array.MustSpace(64, 64)
+	params := workload.ParamSpace{{Lo: 0, Hi: 63}, {Lo: 0, Hi: 63}}
+	ctx, cancel := context.WithCancel(context.Background())
+	var evals atomic.Int64
+	eval := func(v []float64) (*array.IndexSet, error) {
+		if evals.Add(1) == 40 {
+			cancel() // cancel mid-campaign, from inside an evaluation
+		}
+		return rectEvaluator(space, 0, 63, 0, 63)(v)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	cfg.MaxIter = 100000
+	cfg.StopIter = 0
+	cfg.Workers = 4
+	f, err := New(params, space, eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := f.Run(ctx)
+	if err != nil {
+		t.Fatalf("canceled run should return the partial result, got error %v", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", took)
+	}
+	if res.StopReason != StopCanceled {
+		t.Errorf("stop reason %q, want %q", res.StopReason, StopCanceled)
+	}
+	if res.Evaluations == 0 || res.Indices.Empty() {
+		t.Error("partial result lost the accumulated observations")
+	}
+	if res.Evaluations >= 100000 {
+		t.Error("campaign ran to completion despite cancellation")
+	}
+}
+
+// TestFailuresDoNotAbortCampaign locks in the failure-tolerance fix: a
+// failing debloat test is recorded and skipped, and the campaign keeps
+// the indices accumulated from the seeds that succeeded.
+func TestFailuresDoNotAbortCampaign(t *testing.T) {
+	space := array.MustSpace(32, 32)
+	params := workload.ParamSpace{{Lo: 0, Hi: 31}, {Lo: 0, Hi: 31}}
+	boom := errors.New("flaky audit")
+	inner := rectEvaluator(space, 0, 31, 0, 31)
+	eval := func(v []float64) (*array.IndexSet, error) {
+		// Every third column of Θ fails.
+		if workload.RoundParam(v[0])%3 == 0 {
+			return nil, fmt.Errorf("x=%v: %w", v[0], boom)
+		}
+		return inner(v)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 8
+	cfg.MaxIter = 400
+	f, err := New(params, space, eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatalf("partially failing campaign should succeed, got %v", err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("no failures recorded")
+	}
+	for _, fl := range res.Failures {
+		if !errors.Is(fl.Err, boom) {
+			t.Errorf("failure lost its cause: %v", fl.Err)
+		}
+		if workload.RoundParam(fl.V[0])%3 != 0 {
+			t.Errorf("failure recorded for a seed that should have passed: %v", fl.V)
+		}
+	}
+	if res.Evaluations == 0 || res.Indices.Empty() {
+		t.Error("successful evaluations were discarded")
+	}
+	if res.Iterations != res.Evaluations+len(res.Failures) {
+		t.Errorf("iterations %d != evaluations %d + failures %d",
+			res.Iterations, res.Evaluations, len(res.Failures))
+	}
+}
+
+// TestAllFailuresError: when every attempted test fails there is
+// nothing to report, so Run errors out with the first cause.
+func TestAllFailuresError(t *testing.T) {
+	space := array.MustSpace(16, 16)
+	params := workload.ParamSpace{{Lo: 0, Hi: 15}, {Lo: 0, Hi: 15}}
+	boom := errors.New("audit broken")
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	cfg.MaxIter = 50
+	f, err := New(params, space, func(v []float64) (*array.IndexSet, error) {
+		return nil, boom
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("all-failed campaign returned %v, want wrapped %v", err, boom)
+	}
+}
+
+// TestRestartPreservesFrontier locks in the restart fix: a restart adds
+// fresh uniform seeds without discarding the pending boundary-mutant
+// queue. The useful region is a small island in a huge Θ that uniform
+// samples essentially never hit; only the corpus seeds inside it and
+// the mutants they spawn can discover it. With Restart=1 (a restart
+// after every iteration), a restart that cleared the queue would wipe
+// those mutants every round and discovery would stall at the corpus.
+func TestRestartPreservesFrontier(t *testing.T) {
+	space := array.MustSpace(64, 64)
+	params := workload.ParamSpace{{Lo: 0, Hi: 1023}, {Lo: 0, Hi: 1023}}
+	eval := func(v []float64) (*array.IndexSet, error) {
+		set := array.NewIndexSet(space)
+		x, y := workload.RoundParam(v[0]), workload.RoundParam(v[1])
+		if x >= 500 && x <= 540 && y >= 500 && y <= 540 {
+			set.Add(array.NewIndex(x-500, y-500))
+		}
+		return set, nil
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 13
+	cfg.MaxIter = 400
+	cfg.Restart = 1
+	cfg.InitialValues = [][]float64{
+		{505, 505}, {510, 520}, {520, 510}, {530, 530}, {515, 515},
+	}
+	f, err := New(params, space, eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corpus alone accounts for 5 useful evaluations; everything
+	// beyond that had to come from mutants that survived the restarts.
+	if res.Useful <= 2*len(cfg.InitialValues) {
+		t.Errorf("restart-heavy campaign made only %d useful evaluations: pending mutants were lost", res.Useful)
+	}
+	if res.MaxQueueDepth == 0 {
+		t.Error("queue depth never recorded")
+	}
+}
+
+// TestSmallSpaceExhausts locks in the dedup fix: deduplicated seeds no
+// longer count toward StopIter, so a tiny Θ is evaluated completely and
+// the campaign reports exhaustion rather than looping on reseeds.
+func TestSmallSpaceExhausts(t *testing.T) {
+	space := array.MustSpace(4, 4)
+	params := workload.ParamSpace{{Lo: 0, Hi: 3}, {Lo: 0, Hi: 3}}
+	cfg := DefaultConfig()
+	cfg.Seed = 2
+	cfg.MaxIter = 100000
+	cfg.StopIter = 100000 // only exhaustion may stop this campaign
+	f, err := New(params, space, rectEvaluator(space, 0, 3, 0, 3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 16 {
+		t.Errorf("evaluated %d of the 16 valuations", res.Evaluations)
+	}
+	if res.StopReason != StopExhausted {
+		t.Errorf("stop reason %q, want %q", res.StopReason, StopExhausted)
+	}
+}
+
+// TestParallelSpeedup: with an evaluator dominated by waiting (the
+// audited-container case), the worker pool overlaps evaluations. The
+// evaluator sleeps, so the test measures pool overlap, not CPU count.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	space := array.MustSpace(32, 32)
+	params := workload.ParamSpace{{Lo: 0, Hi: 31}, {Lo: 0, Hi: 31}}
+	inner := rectEvaluator(space, 0, 31, 0, 31)
+	eval := func(v []float64) (*array.IndexSet, error) {
+		time.Sleep(3 * time.Millisecond)
+		return inner(v)
+	}
+	run := func(workers int) (time.Duration, *Result) {
+		cfg := DefaultConfig()
+		cfg.Seed = 21
+		cfg.MaxEvals = 96
+		cfg.MaxIter = 100000
+		cfg.Workers = workers
+		f, err := New(params, space, eval, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		res, err := f.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start), res
+	}
+	seq, seqRes := run(1)
+	par, parRes := run(8)
+	t.Logf("workers=1: %v, workers=8: %v (%.1fx)", seq, par, float64(seq)/float64(par))
+	if !sameIndexSet(seqRes.Indices, parRes.Indices) {
+		t.Error("parallel run changed the result")
+	}
+	if par > seq*2/3 {
+		t.Errorf("8 workers took %v, sequential %v: pool did not overlap evaluations", par, seq)
+	}
+	if parRes.EvalWall <= parRes.Elapsed {
+		t.Errorf("EvalWall %v should exceed Elapsed %v under a parallel pool",
+			parRes.EvalWall, parRes.Elapsed)
+	}
+}

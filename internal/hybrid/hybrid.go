@@ -9,6 +9,7 @@
 package hybrid
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/array"
@@ -41,14 +42,18 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Run executes the two-phase hybrid campaign for a program.
-func Run(p workload.Program, cfg Config) (*Result, error) {
+// Run executes the two-phase hybrid campaign for a program. The
+// context bounds both phases.
+func Run(ctx context.Context, p workload.Program, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	f, err := fuzz.ForProgram(p, cfg.Fuzz)
 	if err != nil {
 		return nil, err
 	}
-	kres, err := f.Run()
+	kres, err := f.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +66,7 @@ func Run(p workload.Program, cfg Config) (*Result, error) {
 		acfg := baseline.DefaultAFLConfig()
 		acfg.MaxEvals = cfg.AFLBudget
 		acfg.Seed = cfg.AFLSeed
-		ares, err := baseline.AFL(p, acfg)
+		ares, err := baseline.AFL(ctx, p, acfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fuzz"
@@ -19,7 +20,7 @@ func TestHybridNeverBelowKondoAlone(t *testing.T) {
 	fcfg.Seed = 3
 	fcfg.MaxEvals = 400
 
-	pure, err := Run(p, Config{Fuzz: fcfg})
+	pure, err := Run(context.Background(), p, Config{Fuzz: fcfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func TestHybridNeverBelowKondoAlone(t *testing.T) {
 		t.Errorf("pure run: %+v", pure)
 	}
 
-	hyb, err := Run(p, Config{Fuzz: fcfg, AFLBudget: 800, AFLSeed: 3})
+	hyb, err := Run(context.Background(), p, Config{Fuzz: fcfg, AFLBudget: 800, AFLSeed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestHybridObservationsStayExact(t *testing.T) {
 	fcfg := fuzz.DefaultConfig()
 	fcfg.Seed = 1
 	fcfg.MaxEvals = 300
-	res, err := Run(p, Config{Fuzz: fcfg, AFLBudget: 300, AFLSeed: 1})
+	res, err := Run(context.Background(), p, Config{Fuzz: fcfg, AFLBudget: 300, AFLSeed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

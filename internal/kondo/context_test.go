@@ -1,0 +1,85 @@
+package kondo
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/workload"
+)
+
+// TestDebloatCanceledReturnsPartialFuzz: a canceled pipeline skips the
+// carve stage but hands back the fuzz observations gathered so far,
+// alongside the context's error.
+func TestDebloatCanceledReturnsPartialFuzz(t *testing.T) {
+	p := workload.MustCS(2, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	var evals atomic.Int64
+	eval := func(v []float64) (*array.IndexSet, error) {
+		if evals.Add(1) == 30 {
+			cancel()
+		}
+		return workload.RunOnVirtual(p, v)
+	}
+	cfg := DefaultConfig()
+	cfg.Fuzz.Seed = 4
+	cfg.Fuzz.MaxIter = 100000
+	cfg.Fuzz.StopIter = 0
+	start := time.Now()
+	res, err := DebloatWithEvaluator(ctx, p.Params(), p.Space(), eval, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", took)
+	}
+	if res == nil || res.Fuzz == nil {
+		t.Fatal("canceled pipeline discarded the partial fuzz result")
+	}
+	if res.Fuzz.Evaluations == 0 || res.Fuzz.Indices.Empty() {
+		t.Error("partial fuzz result lost the accumulated observations")
+	}
+	if res.Approx != nil && !res.Approx.Empty() {
+		t.Error("carve stage ran despite cancellation")
+	}
+}
+
+// TestDebloatAlreadyCanceled: a context canceled before the call stops
+// the pipeline immediately.
+func TestDebloatAlreadyCanceled(t *testing.T) {
+	p := workload.MustCS(2, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Debloat(ctx, p, DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDebloatDeterministicAcrossWorkers: the full pipeline, not just
+// the fuzzer, is worker-count independent.
+func TestDebloatDeterministicAcrossWorkers(t *testing.T) {
+	p := workload.MustCS(2, 64)
+	run := func(workers int) *Result {
+		cfg := DefaultConfig()
+		cfg.Fuzz.Seed = 6
+		cfg.Fuzz.MaxEvals = 300
+		cfg.Fuzz.Workers = workers
+		res, err := Debloat(context.Background(), p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if a.Approx.Len() != b.Approx.Len() || len(a.Hulls) != len(b.Hulls) {
+		t.Errorf("worker count changed the pipeline outcome: %d indices/%d hulls vs %d/%d",
+			a.Approx.Len(), len(a.Hulls), b.Approx.Len(), len(b.Hulls))
+	}
+	if a.Approx.IntersectLen(b.Approx) != a.Approx.Len() {
+		t.Error("approximations differ element-wise")
+	}
+}

@@ -1,6 +1,7 @@
 package kondo
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -12,12 +13,12 @@ func TestDebloatPropagatesConfigErrors(t *testing.T) {
 	p := workload.MustCS(2, 64)
 	cfg := DefaultConfig()
 	cfg.Fuzz.MaxIter = 0 // invalid
-	if _, err := Debloat(p, cfg); err == nil {
+	if _, err := Debloat(context.Background(), p, cfg); err == nil {
 		t.Error("invalid fuzz config should error")
 	}
 	cfg = DefaultConfig()
 	cfg.Carve.CellSize = -1
-	if _, err := Debloat(p, cfg); err == nil {
+	if _, err := Debloat(context.Background(), p, cfg); err == nil {
 		t.Error("invalid carve config should error")
 	}
 }
@@ -29,7 +30,7 @@ func TestDebloatPropagatesEvaluatorErrors(t *testing.T) {
 		return nil, boom
 	}
 	cfg := DefaultConfig()
-	_, err := DebloatWithEvaluator(p.Params(), p.Space(), eval, cfg)
+	_, err := DebloatWithEvaluator(context.Background(), p.Params(), p.Space(), eval, cfg)
 	if err == nil {
 		t.Fatal("evaluator error should propagate")
 	}
@@ -44,7 +45,7 @@ func TestDebloatEmptyObservations(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.Fuzz.StopIter = 30
-	res, err := DebloatWithEvaluator(p.Params(), p.Space(), eval, cfg)
+	res, err := DebloatWithEvaluator(context.Background(), p.Params(), p.Space(), eval, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package kondo
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,32 +48,43 @@ type Result struct {
 func (r *Result) Elapsed() time.Duration { return r.FuzzTime + r.CarveTime }
 
 // Debloat runs the full pipeline for a program using the virtual
-// debloat test (the paper's fuzz/carve methodology, §V-C).
-func Debloat(p workload.Program, cfg Config) (*Result, error) {
+// debloat test (the paper's fuzz/carve methodology, §V-C). The
+// context bounds the whole pipeline: a canceled context stops the
+// fuzz campaign within one batch, and the partial result (fuzz stage
+// only, no hulls) is returned alongside the context's error.
+func Debloat(ctx context.Context, p workload.Program, cfg Config) (*Result, error) {
 	f, err := fuzz.ForProgram(p, cfg.Fuzz)
 	if err != nil {
 		return nil, err
 	}
-	return debloat(f, p.Space(), cfg)
+	return debloat(ctx, f, p.Space(), cfg)
 }
 
 // DebloatWithEvaluator runs the pipeline against a custom debloat-test
 // evaluator (e.g. one auditing real file I/O through the trace layer).
-func DebloatWithEvaluator(params workload.ParamSpace, space array.Space, eval fuzz.Evaluator, cfg Config) (*Result, error) {
+func DebloatWithEvaluator(ctx context.Context, params workload.ParamSpace, space array.Space, eval fuzz.Evaluator, cfg Config) (*Result, error) {
 	f, err := fuzz.New(params, space, eval, cfg.Fuzz)
 	if err != nil {
 		return nil, err
 	}
-	return debloat(f, space, cfg)
+	return debloat(ctx, f, space, cfg)
 }
 
-func debloat(f *fuzz.Fuzzer, space array.Space, cfg Config) (*Result, error) {
+func debloat(ctx context.Context, f *fuzz.Fuzzer, space array.Space, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	fuzzStart := time.Now()
-	fres, err := f.Run()
+	fres, err := f.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("kondo: fuzzing: %w", err)
 	}
 	fuzzTime := time.Since(fuzzStart)
+	if err := ctx.Err(); err != nil {
+		// Canceled mid-campaign: surface the fuzz stage's partial
+		// observations without spending time carving them.
+		return &Result{Fuzz: fres, FuzzTime: fuzzTime}, err
+	}
 
 	carveStart := time.Now()
 	hulls, err := carve.Carve(fres.Indices, cfg.Carve)

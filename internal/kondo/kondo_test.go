@@ -1,6 +1,7 @@
 package kondo
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/array"
@@ -15,7 +16,7 @@ func TestDebloatCS2Quality(t *testing.T) {
 	p := workload.MustCS(2, 128)
 	cfg := DefaultConfig()
 	cfg.Fuzz.Seed = 1
-	res, err := Debloat(p, cfg)
+	res, err := Debloat(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestDebloatLDCSeparation(t *testing.T) {
 	p := workload.MustLDC(128, 128)
 	cfg := DefaultConfig()
 	cfg.Fuzz.Seed = 2
-	res, err := Debloat(p, cfg)
+	res, err := Debloat(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestDebloatWithEvaluator(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Fuzz.Seed = 3
 	cfg.Fuzz.MaxIter = 300
-	res, err := DebloatWithEvaluator(p.Params(), p.Space(), eval, cfg)
+	res, err := DebloatWithEvaluator(context.Background(), p.Params(), p.Space(), eval, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

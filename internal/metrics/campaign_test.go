@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fuzz"
+	"repro/internal/workload"
+)
+
+func TestCampaignStatsArithmetic(t *testing.T) {
+	s := CampaignStats{
+		Evaluations: 90,
+		FailedEvals: 10,
+		Workers:     4,
+		Elapsed:     2 * time.Second,
+		EvalWall:    6 * time.Second,
+	}
+	if got := s.EvalsPerSec(); got != 50 {
+		t.Errorf("EvalsPerSec = %v, want 50", got)
+	}
+	if got := s.WorkerUtilization(); got != 0.75 {
+		t.Errorf("WorkerUtilization = %v, want 0.75", got)
+	}
+	// Degenerate inputs must not divide by zero or exceed the clamp.
+	if (CampaignStats{}).EvalsPerSec() != 0 || (CampaignStats{}).WorkerUtilization() != 0 {
+		t.Error("zero-valued stats should report 0")
+	}
+	over := CampaignStats{Workers: 1, Elapsed: time.Second, EvalWall: 10 * time.Second}
+	if got := over.WorkerUtilization(); got != 1 {
+		t.Errorf("utilization not clamped: %v", got)
+	}
+}
+
+func TestCampaignFromFuzzResult(t *testing.T) {
+	p := workload.MustCS(2, 64)
+	cfg := fuzz.DefaultConfig()
+	cfg.Seed = 1
+	cfg.MaxEvals = 120
+	f, err := fuzz.ForProgram(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Campaign(res)
+	if s.Evaluations != res.Evaluations || s.Workers != res.Workers ||
+		s.Batches != res.Batches || s.StopReason != res.StopReason {
+		t.Errorf("stats do not mirror the result: %+v vs %+v", s, res)
+	}
+	if s.EvalsPerSec() <= 0 {
+		t.Error("live campaign should report positive throughput")
+	}
+	line := s.String()
+	for _, want := range []string{"evals", "workers", "stop:"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary %q missing %q", line, want)
+		}
+	}
+}

@@ -17,7 +17,7 @@
 // Basic use:
 //
 //	p, _ := kondo.ProgramByName("CS2")
-//	res, _ := kondo.Debloat(p, kondo.DefaultConfig())
+//	res, _ := kondo.Debloat(context.Background(), p, kondo.DefaultConfig())
 //	fmt.Println(res.Approx.Len(), "indices kept in", len(res.Hulls), "hulls")
 //
 // The packages under internal/ hold the implementation; this package
@@ -28,6 +28,7 @@
 package kondo
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/array"
@@ -65,6 +66,14 @@ type Result = kondo.Result
 // PR bundles precision and recall.
 type PR = metrics.PR
 
+// CampaignStats summarizes a fuzz campaign's throughput: evaluations
+// per second, worker utilization, failed-test count, queue depth.
+type CampaignStats = metrics.CampaignStats
+
+// CampaignOf extracts the throughput stats of a pipeline result's
+// fuzz stage.
+func CampaignOf(res *Result) CampaignStats { return metrics.Campaign(res.Fuzz) }
+
 // DebloatStats summarizes a debloated-file materialization.
 type DebloatStats = debloat.Stats
 
@@ -76,8 +85,16 @@ var ErrDataMissing = debloat.ErrDataMissing
 func DefaultConfig() Config { return kondo.DefaultConfig() }
 
 // Debloat runs the full pipeline (fuzz → carve → rasterize) for a
-// program, using audited virtual debloat tests.
-func Debloat(p Program, cfg Config) (*Result, error) { return kondo.Debloat(p, cfg) }
+// program, using audited virtual debloat tests. The context bounds
+// the whole pipeline: canceling it (or letting its deadline pass)
+// stops the fuzz campaign within one evaluation batch; the partial
+// fuzz result is returned alongside the context's error. A failing
+// debloat test does not abort the campaign — it is recorded in
+// Result.Fuzz.Failures and its seed skipped; fuzzing errors out only
+// when every attempted test failed.
+func Debloat(ctx context.Context, p Program, cfg Config) (*Result, error) {
+	return kondo.Debloat(ctx, p, cfg)
+}
 
 // Programs returns the 11-program benchmark suite of the paper's
 // evaluation at the default sizes (128² in 2D, 64³ in 3D).

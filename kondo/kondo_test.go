@@ -1,6 +1,7 @@
 package kondo_test
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"path/filepath"
@@ -23,7 +24,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	cfg := kondo.DefaultConfig()
 	cfg.Fuzz.Seed = 1
-	res, err := kondo.Debloat(p, cfg)
+	res, err := kondo.Debloat(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestFacadeRemoteAndProvenance(t *testing.T) {
 	cfg := kondo.DefaultConfig()
 	cfg.Fuzz.Seed = 1
 	cfg.Fuzz.MaxEvals = 400
-	res, err := kondo.Debloat(p, cfg)
+	res, err := kondo.Debloat(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
