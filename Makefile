@@ -15,7 +15,8 @@ vet:
 
 # race runs the suite under the race detector in -short mode (the
 # timing-sensitive tests skip themselves) — this is what exercises the
-# fuzz worker pool for data races.
+# fuzz worker pool and the recovery data plane (dataserve cache /
+# singleflight, remote server, origin fetcher) for data races.
 race:
 	$(GO) test -race -short ./...
 

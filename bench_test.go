@@ -12,18 +12,23 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/baseline"
 	"repro/internal/bench"
 	"repro/internal/carve"
+	"repro/internal/dataserve"
+	"repro/internal/debloat"
 	"repro/internal/fuzz"
 	"repro/internal/ioevent"
 	"repro/internal/kondo"
 	"repro/internal/metrics"
+	"repro/internal/remote"
 	"repro/internal/sdf"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -575,4 +580,105 @@ func BenchmarkExperimentHarness(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- §VI: recovery throughput over the data plane ---
+
+// BenchmarkRecoveryThroughput measures the missing-data recovery path
+// end-to-end over loopback HTTP: a debloated ARD file whose accessed
+// region was carved away recovers it from the origin server, once with
+// the element-per-round-trip client and once with the chunk-granular
+// caching fetcher. Reported metrics: recovered elements per second,
+// HTTP round trips per run, and the fetcher's cache hit rate.
+func BenchmarkRecoveryThroughput(b *testing.B) {
+	ard, err := workload.NewARD(48, 64, 32, 4, 16, 3, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := ard.Space()
+	dir := b.TempDir()
+	origin := filepath.Join(dir, "origin.sdf")
+	w := sdf.NewWriter(origin)
+	dw, err := w.CreateDataset("data", space, array.Float64, []int{8, 8, 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dw.Fill(func(ix array.Index) float64 {
+		lin, _ := space.Linear(ix)
+		return float64(lin) * 0.5
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	// Keep only the first 8 time planes; the benchmarked slab reads
+	// plane 20, so every element misses locally.
+	keep := array.NewIndexSet(space)
+	space.Each(func(ix array.Index) bool {
+		if ix[2] < 8 {
+			keep.Add(ix)
+		}
+		return true
+	})
+	deb := filepath.Join(dir, "deb.sdf")
+	if _, err := debloat.WriteSubset(origin, deb, "data", keep, []int{8, 8, 8}); err != nil {
+		b.Fatal(err)
+	}
+
+	srv, err := dataserve.NewServer(origin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	f, err := sdf.Open(deb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := f.Dataset("data")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const slabElems = 16 * 8 // the recovered region per iteration
+	readSlab := func(fetcher debloat.Fetcher) {
+		rt := debloat.NewRuntime(ds, fetcher)
+		vals, err := rt.ReadSlab([]int{0, 0, 20}, []int{16, 8, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(vals) != slabElems || rt.Misses() == 0 {
+			b.Fatalf("run recovered %d values with %d misses", len(vals), rt.Misses())
+		}
+	}
+
+	b.Run("element", func(b *testing.B) {
+		client := remote.NewClient(ts.URL, nil)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			readSlab(client)
+		}
+		elapsed := time.Since(start).Seconds()
+		b.ReportMetric(float64(slabElems*b.N)/elapsed, "elems/s")
+		b.ReportMetric(float64(client.Fetched())/float64(b.N), "round-trips/run")
+	})
+	b.Run("cached", func(b *testing.B) {
+		fetcher := dataserve.NewFetcher(ts.URL, nil)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			readSlab(fetcher)
+		}
+		elapsed := time.Since(start).Seconds()
+		st := fetcher.Stats()
+		b.ReportMetric(float64(slabElems*b.N)/elapsed, "elems/s")
+		b.ReportMetric(float64(st.RoundTrips)/float64(b.N), "round-trips/run")
+		b.ReportMetric(100*st.HitRate(), "%cache-hit")
+	})
 }

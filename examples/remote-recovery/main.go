@@ -4,12 +4,14 @@
 //
 //	go run ./examples/remote-recovery
 //
-// The example debloats a data file against a deliberately tight
-// approximation, starts an HTTP origin server on the loopback
-// interface, and runs the program against the debloated file with the
-// runtime's remote fetcher attached: every carved-away access is
-// transparently pulled from the server, and the run's results match
-// the original byte-for-byte.
+// The example builds a chunked ARD-style climate origin, debloats it
+// against a deliberately tight approximation, and serves the origin
+// over HTTP with the chunk-granular data plane (internal/dataserve —
+// the same handler cmd/kondo-serve wraps). It then replays the same
+// carved-away read twice: once with the legacy element-per-round-trip
+// client and once with the caching batch fetcher, verifying the
+// recovered values match byte-for-byte and reporting the round-trip
+// reduction (expected well above 10x).
 package main
 
 import (
@@ -21,8 +23,6 @@ import (
 	"path/filepath"
 
 	"repro/internal/array"
-	"repro/internal/debloat"
-	"repro/internal/remote"
 	"repro/internal/sdf"
 	"repro/internal/workload"
 	"repro/kondo"
@@ -35,18 +35,22 @@ func main() {
 	}
 	defer os.RemoveAll(work)
 
-	// Origin file.
-	p := workload.MustCS(2, 64)
-	space := p.Space()
+	// Chunked ARD-style origin: 48x64 grid over 32 time steps, stored
+	// as 8x8x8 chunks so the server hands out real storage chunks.
+	ard, err := workload.NewARD(48, 64, 32, 4, 16, 3, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	space := ard.Space()
 	origin := filepath.Join(work, "origin.sdf")
 	w := sdf.NewWriter(origin)
-	dw, err := w.CreateDataset("data", space, array.Float64, nil)
+	dw, err := w.CreateDataset("data", space, array.Float64, []int{8, 8, 8})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := dw.Fill(func(ix array.Index) float64 {
 		lin, _ := space.Linear(ix)
-		return float64(lin) * 1.5
+		return float64(lin) * 0.5
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -54,24 +58,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Deliberately under-carve: keep only the first 16 rows, so runs
-	// that reach deeper must fetch remotely.
-	small := array.NewIndexSet(space)
+	// Deliberately under-carve: keep only the first 8 time planes, so
+	// reads at later times must fetch remotely.
+	keep := array.NewIndexSet(space)
 	space.Each(func(ix array.Index) bool {
-		if ix[1] < 16 {
-			small.Add(ix)
+		if ix[2] < 8 {
+			keep.Add(ix)
 		}
 		return true
 	})
 	deb := filepath.Join(work, "debloated.sdf")
-	stats, err := kondo.WriteSubset(origin, deb, "data", small, []int{8, 8})
+	stats, err := kondo.WriteSubset(origin, deb, "data", keep, []int{8, 8, 8})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("debloated file: %.2f%% reduction (deliberately under-carved)\n", 100*stats.Reduction())
+	fmt.Printf("debloated file:  %.2f%% reduction (deliberately under-carved)\n", 100*stats.Reduction())
 
-	// Origin server on loopback.
-	srv, err := remote.NewServer(origin)
+	// Chunk-granular origin server on loopback.
+	srv, err := kondo.NewDataServer(origin)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,43 +88,46 @@ func main() {
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
 	baseURL := "http://" + ln.Addr().String()
-	fmt.Printf("origin server:  %s\n", baseURL)
+	fmt.Printf("origin server:   %s\n", baseURL)
 
-	// Run the program against the debloated file with remote recovery.
-	client := remote.NewClient(baseURL, nil)
-	f, err := sdf.Open(deb)
-	if err != nil {
-		log.Fatal(err)
+	// The replayed access: a 16x8 spatial window at time plane 20 —
+	// fully carved away, so every element is a local miss.
+	readSlab := func(fetcher kondo.Fetcher) []float64 {
+		rt, closer, err := kondo.OpenRuntime(deb, "data", fetcher)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closer.Close()
+		vals, err := rt.ReadSlab([]int{0, 0, 20}, []int{16, 8, 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rt.Misses() == 0 {
+			log.Fatal("expected carved-away reads")
+		}
+		return vals
 	}
-	defer f.Close()
-	ds, err := f.Dataset("data")
-	if err != nil {
-		log.Fatal(err)
-	}
-	rt := debloat.NewRuntime(ds, client)
 
-	// stepX=1, stepY=2 walks well past column 16.
-	if err := p.Run([]float64{1, 2}, &workload.Env{Acc: rt}); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("run completed:  %d local misses, %d elements fetched over HTTP\n",
-		rt.Misses(), client.Fetched())
+	// Pass 1: legacy per-element protocol (one round trip per value).
+	elemClient := kondo.NewRemoteClient(baseURL)
+	elemVals := readSlab(elemClient)
+	fmt.Printf("element client:  %d values via %d HTTP round trips\n",
+		len(elemVals), elemClient.Fetched())
 
-	// Verify the recovered values equal the origin's.
-	of, err := sdf.Open(origin)
-	if err != nil {
-		log.Fatal(err)
+	// Pass 2: caching batch fetcher (one round trip per chunk).
+	cached := kondo.NewCachedFetcher(baseURL)
+	cachedVals := readSlab(cached)
+	st := cached.Stats()
+	fmt.Printf("cached fetcher:  %d values via %d HTTP round trips (%.1f%% cache hit)\n",
+		len(cachedVals), st.RoundTrips, 100*st.HitRate())
+
+	for i := range elemVals {
+		if elemVals[i] != cachedVals[i] {
+			log.Fatalf("value %d differs: element=%v cached=%v", i, elemVals[i], cachedVals[i])
+		}
 	}
-	defer of.Close()
-	ods, _ := of.Dataset("data")
-	probe := array.NewIndex(20, 40) // outside the kept columns
-	got, err := rt.ReadElement(probe)
-	if err != nil {
-		log.Fatal(err)
-	}
-	want, err := ods.ReadElement(probe)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("spot check %v:  remote=%v origin=%v (match=%v)\n", probe, got, want, got == want)
+	reduction := float64(elemClient.Fetched()) / float64(st.RoundTrips)
+	fmt.Printf("values match byte-for-byte; %.0fx fewer round trips\n", reduction)
+
+	fmt.Printf("server metrics:  %s\n", srv.Metrics())
 }

@@ -1,0 +1,424 @@
+package dataserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/sdf"
+)
+
+// FetcherConfig tunes the client's cache, timeout, and retry
+// behaviour. The zero value of any field selects its default.
+type FetcherConfig struct {
+	// MaxCacheBytes bounds the chunk cache (default 64 MiB).
+	MaxCacheBytes int64
+	// RequestTimeout bounds one HTTP attempt (default 2s).
+	RequestTimeout time.Duration
+	// FetchTimeout bounds one logical fetch including all retries
+	// (default 10s): a dead origin fails within this deadline instead
+	// of hanging the debloated runtime.
+	FetchTimeout time.Duration
+	// MaxAttempts is the total number of HTTP attempts per fetch
+	// (default 4: one try plus three retries).
+	MaxAttempts int
+	// RetryBase and RetryMax shape the exponential backoff between
+	// attempts (defaults 50ms and 2s).
+	RetryBase, RetryMax time.Duration
+}
+
+func (c FetcherConfig) withDefaults() FetcherConfig {
+	if c.MaxCacheBytes <= 0 {
+		c.MaxCacheBytes = 64 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 10 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	return c
+}
+
+// FetchStats is a snapshot of a Fetcher's counters.
+type FetchStats struct {
+	// Elements counts values served to callers; RoundTrips counts
+	// HTTP responses received from the origin (including retried
+	// attempts); Retries counts re-attempts after a failure.
+	Elements, RoundTrips, Retries int64
+	// CacheHits and CacheMisses count chunk-cache lookups;
+	// FlightShared counts fetches that piggybacked on a concurrent
+	// in-flight request for the same chunk.
+	CacheHits, CacheMisses, FlightShared int64
+	// CacheEntries and CacheBytes describe the cache's current state.
+	CacheEntries int
+	CacheBytes   int64
+}
+
+// HitRate returns the chunk-cache hit fraction.
+func (s FetchStats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// String renders a one-line summary.
+func (s FetchStats) String() string {
+	return fmt.Sprintf("%d elements via %d round trips (%d retries): cache %.1f%% hit (%d entries, %d B), %d deduped in-flight",
+		s.Elements, s.RoundTrips, s.Retries, 100*s.HitRate(), s.CacheEntries, s.CacheBytes, s.FlightShared)
+}
+
+// dsGeom is the client's resolved view of one dataset's geometry.
+type dsGeom struct {
+	space array.Space
+	grid  *array.ChunkedLayout
+	chunk []int
+}
+
+// Fetcher recovers carved-away elements from a dataserve origin. It
+// implements debloat.Fetcher (and debloat.ContextFetcher): one miss
+// pulls the whole containing serving chunk over a single round trip,
+// caches it in a byte-bounded LRU, and serves neighboring misses from
+// memory. Concurrent misses on one chunk collapse onto a single HTTP
+// request. It is safe for concurrent use.
+type Fetcher struct {
+	baseURL string
+	http    *http.Client
+	cfg     FetcherConfig
+
+	mu     sync.Mutex
+	geoms  map[string]*dsGeom
+	metaMu sync.Mutex // serializes geometry misses (one /meta per burst)
+
+	cache  *chunkCache
+	flight *flightGroup
+
+	elements, roundTrips, retries   atomic.Int64
+	cacheHits, cacheMisses, flShare atomic.Int64
+}
+
+// NewFetcher returns a fetcher against the origin's base URL (e.g.
+// "http://127.0.0.1:8080") with default configuration. A nil
+// httpClient gets a dedicated client whose per-request timeout is
+// enforced through contexts.
+func NewFetcher(baseURL string, httpClient *http.Client) *Fetcher {
+	return NewFetcherConfig(baseURL, httpClient, FetcherConfig{})
+}
+
+// NewFetcherConfig returns a fetcher with explicit configuration.
+func NewFetcherConfig(baseURL string, httpClient *http.Client, cfg FetcherConfig) *Fetcher {
+	if httpClient == nil {
+		httpClient = &http.Client{}
+	}
+	cfg = cfg.withDefaults()
+	return &Fetcher{
+		baseURL: strings.TrimSuffix(baseURL, "/"),
+		http:    httpClient,
+		cfg:     cfg,
+		geoms:   make(map[string]*dsGeom),
+		cache:   newChunkCache(cfg.MaxCacheBytes),
+		flight:  newFlightGroup(),
+	}
+}
+
+// Stats returns a snapshot of the fetcher's counters.
+func (f *Fetcher) Stats() FetchStats {
+	return FetchStats{
+		Elements:     f.elements.Load(),
+		RoundTrips:   f.roundTrips.Load(),
+		Retries:      f.retries.Load(),
+		CacheHits:    f.cacheHits.Load(),
+		CacheMisses:  f.cacheMisses.Load(),
+		FlightShared: f.flShare.Load(),
+		CacheEntries: f.cache.len(),
+		CacheBytes:   f.cache.bytes(),
+	}
+}
+
+// Fetch implements debloat.Fetcher.
+func (f *Fetcher) Fetch(dataset string, ix array.Index) (float64, error) {
+	return f.FetchContext(context.Background(), dataset, ix)
+}
+
+// FetchContext implements debloat.ContextFetcher: it recovers one
+// element under the caller's context, additionally bounded by the
+// configured FetchTimeout.
+func (f *Fetcher) FetchContext(ctx context.Context, dataset string, ix array.Index) (float64, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.FetchTimeout)
+	defer cancel()
+
+	g, err := f.geom(ctx, dataset)
+	if err != nil {
+		return 0, err
+	}
+	cc, _, err := g.grid.ChunkCoord(ix)
+	if err != nil {
+		return 0, fmt.Errorf("dataserve: fetch %v of %q: %w", ix, dataset, err)
+	}
+	vals, err := f.chunk(ctx, dataset, g, cc)
+	if err != nil {
+		return 0, err
+	}
+	start, count := chunkSlab(g.space, g.chunk, cc)
+	// Row-major offset of ix within the clipped chunk slab.
+	off := 0
+	for k := range ix {
+		off = off*count[k] + (ix[k] - start[k])
+	}
+	if off < 0 || off >= len(vals) {
+		return 0, fmt.Errorf("dataserve: chunk %v of %q: element %v outside %d-value frame",
+			cc, dataset, ix, len(vals))
+	}
+	f.elements.Add(1)
+	return vals[off], nil
+}
+
+// FetchSlab recovers a dense block in a single round trip through the
+// /slab endpoint, bypassing the chunk cache — the bulk-restore path
+// for pre-warming or whole-region recovery.
+func (f *Fetcher) FetchSlab(ctx context.Context, dataset string, start, count []int) ([]float64, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.FetchTimeout)
+	defer cancel()
+	body, err := json.Marshal(slabRequest{Dataset: dataset, Start: start, Count: count})
+	if err != nil {
+		return nil, err
+	}
+	want := int64(1)
+	for _, c := range count {
+		want *= int64(c)
+	}
+	vals, err := f.frameRequest(ctx, http.MethodPost, f.baseURL+"/slab", body, want)
+	if err != nil {
+		return nil, fmt.Errorf("dataserve: slab %v+%v of %q: %w", start, count, dataset, err)
+	}
+	f.elements.Add(int64(len(vals)))
+	return vals, nil
+}
+
+// geom resolves (and caches) a dataset's serving geometry.
+func (f *Fetcher) geom(ctx context.Context, dataset string) (*dsGeom, error) {
+	f.mu.Lock()
+	g, ok := f.geoms[dataset]
+	f.mu.Unlock()
+	if ok {
+		return g, nil
+	}
+	// Serialize meta misses so a burst of first fetches shares one
+	// round trip; cached lookups above never touch this lock.
+	f.metaMu.Lock()
+	defer f.metaMu.Unlock()
+	f.mu.Lock()
+	g, ok = f.geoms[dataset]
+	f.mu.Unlock()
+	if ok {
+		return g, nil
+	}
+	data, err := f.jsonRequest(ctx, f.baseURL+"/meta?dataset="+dataset)
+	if err != nil {
+		return nil, fmt.Errorf("dataserve: meta of %q: %w", dataset, err)
+	}
+	var meta DatasetMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("dataserve: decoding meta of %q: %w", dataset, err)
+	}
+	space, err := array.NewSpace(meta.Dims...)
+	if err != nil {
+		return nil, fmt.Errorf("dataserve: meta of %q: %w", dataset, err)
+	}
+	dt, err := array.ParseDType(meta.DType)
+	if err != nil {
+		return nil, fmt.Errorf("dataserve: meta of %q: %w", dataset, err)
+	}
+	grid, err := array.NewChunkedLayout(space, dt, meta.Chunk)
+	if err != nil {
+		return nil, fmt.Errorf("dataserve: meta of %q: %w", dataset, err)
+	}
+	g = &dsGeom{space: space, grid: grid, chunk: meta.Chunk}
+	f.mu.Lock()
+	if prev, ok := f.geoms[dataset]; ok {
+		g = prev // concurrent resolver won; geometry is identical
+	} else {
+		f.geoms[dataset] = g
+	}
+	f.mu.Unlock()
+	return g, nil
+}
+
+// chunk returns the values of one serving chunk, from cache when
+// possible, collapsing concurrent misses onto one request.
+func (f *Fetcher) chunk(ctx context.Context, dataset string, g *dsGeom, cc array.Index) ([]float64, error) {
+	lin, err := g.grid.ChunkLinear(cc)
+	if err != nil {
+		return nil, err
+	}
+	key := dataset + "\x00" + strconv.FormatInt(lin, 10)
+	if vals, ok := f.cache.get(key); ok {
+		f.cacheHits.Add(1)
+		return vals, nil
+	}
+	f.cacheMisses.Add(1)
+	vals, err, shared := f.flight.do(key, func() ([]float64, error) {
+		// Re-check under the flight: a previous holder may have
+		// populated the cache while this caller queued.
+		if vals, ok := f.cache.get(key); ok {
+			return vals, nil
+		}
+		_, count := chunkSlab(g.space, g.chunk, cc)
+		want := int64(1)
+		for _, c := range count {
+			want *= int64(c)
+		}
+		parts := make([]string, len(cc))
+		for i, v := range cc {
+			parts[i] = strconv.Itoa(v)
+		}
+		url := f.baseURL + "/chunk?dataset=" + dataset + "&chunk=" + strings.Join(parts, ",")
+		vals, err := f.frameRequest(ctx, http.MethodGet, url, nil, want)
+		if err != nil {
+			return nil, fmt.Errorf("dataserve: chunk %v of %q: %w", cc, dataset, err)
+		}
+		f.cache.put(key, vals)
+		return vals, nil
+	})
+	if shared {
+		f.flShare.Add(1)
+	}
+	return vals, err
+}
+
+// jsonRequest performs a retried GET expecting a JSON body.
+func (f *Fetcher) jsonRequest(ctx context.Context, url string) ([]byte, error) {
+	var out []byte
+	err := f.withRetries(ctx, func(actx context.Context) (retryable bool, err error) {
+		req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
+		if err != nil {
+			return false, err
+		}
+		resp, err := f.http.Do(req)
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		f.roundTrips.Add(1)
+		if resp.StatusCode != http.StatusOK {
+			return retryStatus(resp.StatusCode), statusError(resp)
+		}
+		out, err = io.ReadAll(resp.Body)
+		return true, err
+	})
+	return out, err
+}
+
+// frameRequest performs a retried request expecting a binary value
+// frame of wantVals values.
+func (f *Fetcher) frameRequest(ctx context.Context, method, url string, body []byte, wantVals int64) ([]float64, error) {
+	var vals []float64
+	err := f.withRetries(ctx, func(actx context.Context) (retryable bool, err error) {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(actx, method, url, rd)
+		if err != nil {
+			return false, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := f.http.Do(req)
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		f.roundTrips.Add(1)
+		if resp.StatusCode != http.StatusOK {
+			return retryStatus(resp.StatusCode), statusError(resp)
+		}
+		// A truncated or corrupted body is worth retrying: the origin
+		// itself is healthy, the transfer was not.
+		vals, err = decodeFrame(resp.Body, wantVals)
+		return true, err
+	})
+	return vals, err
+}
+
+// withRetries runs attempt with per-attempt timeouts and exponential
+// backoff until it succeeds, fails terminally, or the context (which
+// carries the overall fetch deadline) dies. Exhausted retries against
+// an unreachable origin degrade to the data-missing exception: the
+// returned error wraps sdf.ErrDataMissing so runtimes classify it
+// exactly like a carved-away access with no fetcher attached.
+func (f *Fetcher) withRetries(ctx context.Context, attempt func(context.Context) (retryable bool, err error)) error {
+	var lastErr error
+	for try := 0; try < f.cfg.MaxAttempts; try++ {
+		if try > 0 {
+			f.retries.Add(1)
+			backoff := f.cfg.RetryBase << (try - 1)
+			if backoff > f.cfg.RetryMax {
+				backoff = f.cfg.RetryMax
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return fmt.Errorf("%w: origin unreachable: %w (last error: %v)",
+					sdf.ErrDataMissing, ctx.Err(), lastErr)
+			}
+		}
+		actx, cancel := context.WithTimeout(ctx, f.cfg.RequestTimeout)
+		retryable, err := attempt(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if !retryable {
+			return err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return fmt.Errorf("%w: origin unreachable: %w (last error: %v)",
+				sdf.ErrDataMissing, ctx.Err(), lastErr)
+		}
+	}
+	return fmt.Errorf("%w: origin unreachable after %d attempts: %v",
+		sdf.ErrDataMissing, f.cfg.MaxAttempts, lastErr)
+}
+
+// retryStatus reports whether an HTTP status is worth retrying:
+// server-side trouble is, client-side protocol errors are not.
+func retryStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// statusError turns a non-200 response into an error carrying the
+// server's JSON error message. A 410 Gone — the origin itself lacks
+// the data — wraps sdf.ErrDataMissing.
+func statusError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e)
+	if resp.StatusCode == http.StatusGone {
+		return fmt.Errorf("%w at origin (%s)", sdf.ErrDataMissing, e.Error)
+	}
+	return fmt.Errorf("server says %s (%s)", resp.Status, e.Error)
+}

@@ -1,0 +1,411 @@
+package dataserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/metrics"
+	"repro/internal/sdf"
+)
+
+// defaultServingElems is the serving-chunk volume target for origins
+// stored contiguously: 4096 float64 values ≈ 32 KiB per frame, big
+// enough to amortize a round trip and small enough to keep the client
+// cache granular.
+const defaultServingElems = 4096
+
+// DatasetMeta is the /meta response body: the geometry a client needs
+// to turn element indices into serving-chunk coordinates.
+type DatasetMeta struct {
+	Dataset string `json:"dataset"`
+	Dims    []int  `json:"dims"`
+	DType   string `json:"dtype"`
+	// Chunk is the serving chunk shape: the dataset's storage chunk
+	// shape when it is chunked, otherwise a server-derived shape.
+	Chunk []int `json:"chunk"`
+	// Chunked reports whether the underlying storage layout is
+	// chunked (i.e. Chunk mirrors real storage granularity).
+	Chunked   bool `json:"chunked"`
+	Debloated bool `json:"debloated"`
+}
+
+// serving bundles one dataset's handle with its serving-chunk
+// geometry, precomputed at open time so request handling allocates no
+// shared state.
+type serving struct {
+	ds    *sdf.Dataset
+	meta  DatasetMeta
+	space array.Space
+	grid  *array.ChunkedLayout
+}
+
+// Server serves chunk- and hyperslab-granular reads from an origin
+// sdf file. Reads are lock-free with respect to each other: dataset
+// handles are immutable and the underlying file reads through ReadAt,
+// so the only synchronization is an RWMutex held shared for the
+// duration of a request to fence Close.
+type Server struct {
+	mu   sync.RWMutex
+	file *sdf.File
+	sets map[string]*serving
+	rec  *metrics.ServeRecorder
+}
+
+// NewServer opens the origin file and precomputes serving geometry
+// for every dataset.
+func NewServer(originPath string) (*Server, error) {
+	f, err := sdf.Open(originPath)
+	if err != nil {
+		return nil, fmt.Errorf("dataserve: opening origin: %w", err)
+	}
+	s := &Server{file: f, sets: make(map[string]*serving), rec: metrics.NewServeRecorder()}
+	for _, name := range f.Names() {
+		ds, err := f.Dataset(name)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		space := ds.Space()
+		chunk := ds.ChunkShape()
+		chunked := chunk != nil
+		if chunk == nil {
+			chunk = servingChunk(space.Dims(), defaultServingElems)
+		}
+		grid, err := array.NewChunkedLayout(space, ds.DType(), chunk)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("dataserve: dataset %q: %w", name, err)
+		}
+		s.sets[name] = &serving{
+			ds: ds,
+			meta: DatasetMeta{
+				Dataset:   name,
+				Dims:      space.Dims(),
+				DType:     ds.DType().String(),
+				Chunk:     chunk,
+				Chunked:   chunked,
+				Debloated: ds.Debloated(),
+			},
+			space: space,
+			grid:  grid,
+		}
+	}
+	return s, nil
+}
+
+// servingChunk derives a serving chunk shape for a contiguous dataset
+// by repeatedly halving the largest extent until the chunk volume
+// drops to target elements. The derivation is deterministic, so every
+// client sees the same chunk grid.
+func servingChunk(dims []int, target int64) []int {
+	chunk := append([]int(nil), dims...)
+	vol := int64(1)
+	for _, d := range chunk {
+		vol *= int64(d)
+	}
+	for vol > target {
+		k := 0
+		for i, c := range chunk {
+			if c > chunk[k] {
+				k = i
+			}
+		}
+		if chunk[k] <= 1 {
+			break
+		}
+		vol /= int64(chunk[k])
+		chunk[k] = (chunk[k] + 1) / 2
+		vol *= int64(chunk[k])
+	}
+	return chunk
+}
+
+// Close releases the origin file. In-flight requests finish first.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	err := s.file.Close()
+	s.file = nil
+	return err
+}
+
+// Metrics returns a snapshot of the server's request metrics.
+func (s *Server) Metrics() metrics.ServeStats { return s.rec.Snapshot() }
+
+// Handler returns the HTTP handler exposing the wire protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/datasets", s.instrument("datasets", s.handleDatasets))
+	mux.Handle("/meta", s.instrument("meta", s.handleMeta))
+	mux.Handle("/element", s.instrument("element", s.handleElement))
+	mux.Handle("/chunk", s.instrument("chunk", s.handleChunk))
+	mux.Handle("/slab", s.instrument("slab", s.handleSlab))
+	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// countingWriter captures the status code and payload size of one
+// response for the metrics recorder.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (cw *countingWriter) WriteHeader(status int) {
+	cw.status = status
+	cw.ResponseWriter.WriteHeader(status)
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.ResponseWriter.Write(p)
+	cw.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with latency/byte/error recording under
+// the given endpoint name.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
+		h(cw, r)
+		s.rec.Record(endpoint, cw.status, cw.bytes, time.Since(start))
+	})
+}
+
+// lookup resolves a dataset under the read lock; the returned release
+// must be called once the request is done with the handle.
+func (s *Server) lookup(name string) (*serving, func(), error) {
+	s.mu.RLock()
+	if s.file == nil {
+		s.mu.RUnlock()
+		return nil, nil, errOriginClosed
+	}
+	sv, ok := s.sets[name]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, nil, fmt.Errorf("%w: %q", sdf.ErrNotFound, name)
+	}
+	return sv, s.mu.RUnlock, nil
+}
+
+var errOriginClosed = errors.New("dataserve: origin closed")
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps an error onto the protocol's status codes: missing
+// data → 410 Gone, unknown dataset → 404, closed origin → 503,
+// anything else → the fallback (usually 400).
+func writeError(w http.ResponseWriter, fallback int, err error) {
+	status := fallback
+	switch {
+	case errors.Is(err, sdf.ErrDataMissing):
+		status = http.StatusGone
+	case errors.Is(err, sdf.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, errOriginClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.file == nil {
+		writeError(w, http.StatusServiceUnavailable, errOriginClosed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"datasets": s.file.Names()})
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	sv, release, err := s.lookup(r.URL.Query().Get("dataset"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer release()
+	writeJSON(w, http.StatusOK, sv.meta)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.rec.Snapshot())
+}
+
+func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) {
+	dataset := r.URL.Query().Get("dataset")
+	indexArg := r.URL.Query().Get("index")
+	if dataset == "" || indexArg == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("dataset and index query parameters required"))
+		return
+	}
+	ix, err := parseInts(indexArg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sv, release, err := s.lookup(dataset)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer release()
+	if !sv.space.Contains(array.Index(ix)) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("dataserve: index %v outside %v", ix, sv.space))
+		return
+	}
+	v, err := sv.ds.ReadElement(array.Index(ix))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"value": v})
+}
+
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	dataset := r.URL.Query().Get("dataset")
+	chunkArg := r.URL.Query().Get("chunk")
+	if dataset == "" || chunkArg == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("dataset and chunk query parameters required"))
+		return
+	}
+	cc, err := parseInts(chunkArg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sv, release, err := s.lookup(dataset)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer release()
+	if !sv.grid.Grid().Contains(array.Index(cc)) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("dataserve: chunk %v outside grid %v", cc, sv.grid.Grid()))
+		return
+	}
+	start, count := chunkSlab(sv.space, sv.meta.Chunk, cc)
+	vals, err := sv.ds.ReadHyperslab(sdf.Slab(start, count))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeFrame(w, vals)
+}
+
+// slabRequest is the POST /slab body: one dense block.
+type slabRequest struct {
+	Dataset string `json:"dataset"`
+	Start   []int  `json:"start"`
+	Count   []int  `json:"count"`
+}
+
+func (s *Server) handleSlab(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("dataserve: /slab wants POST"))
+		return
+	}
+	var req slabRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("dataserve: bad slab request: %w", err))
+		return
+	}
+	sv, release, err := s.lookup(req.Dataset)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer release()
+	if len(req.Start) != sv.space.Rank() || len(req.Count) != sv.space.Rank() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("dataserve: slab rank mismatch (space rank %d)", sv.space.Rank()))
+		return
+	}
+	sel := sdf.Slab(req.Start, req.Count)
+	if err := sel.Validate(sv.space); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	vals, err := sv.ds.ReadHyperslab(sel)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeFrame(w, vals)
+}
+
+func writeFrame(w http.ResponseWriter, vals []float64) {
+	buf := encodeFrame(vals)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	_, _ = w.Write(buf)
+}
+
+// chunkSlab returns the start/count of serving chunk cc clipped to the
+// dataset space (edge chunks shrink instead of padding, so the frame
+// carries logical elements only).
+func chunkSlab(space array.Space, chunk []int, cc []int) (start, count []int) {
+	start = make([]int, len(cc))
+	count = make([]int, len(cc))
+	for k := range cc {
+		start[k] = cc[k] * chunk[k]
+		count[k] = chunk[k]
+		if start[k]+count[k] > space.Dim(k) {
+			count[k] = space.Dim(k) - start[k]
+		}
+	}
+	return start, count
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("dataserve: bad coordinate %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// LimitConcurrency caps the number of requests a handler serves at
+// once; excess requests queue (bounded by the client's timeout). A
+// non-positive n returns h unchanged.
+func LimitConcurrency(h http.Handler, n int) http.Handler {
+	if n <= 0 {
+		return h
+	}
+	sem := make(chan struct{}, n)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			h.ServeHTTP(w, r)
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable, r.Context().Err())
+		}
+	})
+}

@@ -1,0 +1,369 @@
+package dataserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/debloat"
+	"repro/internal/sdf"
+)
+
+// originValue is the deterministic element value every test origin is
+// filled with.
+func originValue(space array.Space, ix array.Index) float64 {
+	lin, _ := space.Linear(ix)
+	return float64(lin) * 0.5
+}
+
+// writeOriginFile materializes a filled origin. A nil chunk shape
+// selects a contiguous layout.
+func writeOriginFile(t testing.TB, space array.Space, chunk []int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "origin.sdf")
+	w := sdf.NewWriter(path)
+	dw, err := w.CreateDataset("data", space, array.Float64, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Fill(func(ix array.Index) float64 { return originValue(space, ix) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// startServer returns a Server over a fresh origin plus an httptest
+// server mounted on its handler.
+func startServer(t testing.TB, space array.Space, chunk []int) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := NewServer(writeOriginFile(t, space, chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getMeta(t *testing.T, ts *httptest.Server, dataset string) DatasetMeta {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/meta?dataset=" + dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("meta status = %d", resp.StatusCode)
+	}
+	var meta DatasetMeta
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+func TestMetaChunkSlabRoundTrip(t *testing.T) {
+	space := array.MustSpace(30, 20) // 30 is not a multiple of 8: edge chunks clip
+	_, ts := startServer(t, space, []int{8, 8})
+
+	meta := getMeta(t, ts, "data")
+	if !meta.Chunked || fmt.Sprint(meta.Chunk) != "[8 8]" || fmt.Sprint(meta.Dims) != "[30 20]" {
+		t.Fatalf("meta = %+v", meta)
+	}
+
+	// Chunk (3,2) is the bottom-right edge chunk: rows 24..29, cols 16..19.
+	resp, err := http.Get(ts.URL + "/chunk?dataset=data&chunk=3,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk status = %d", resp.StatusCode)
+	}
+	vals, err := decodeFrame(resp.Body, 6*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for r := 24; r < 30; r++ {
+		for c := 16; c < 20; c++ {
+			if want := originValue(space, array.NewIndex(r, c)); vals[i] != want {
+				t.Fatalf("chunk value at (%d,%d) = %v, want %v", r, c, vals[i], want)
+			}
+			i++
+		}
+	}
+
+	// Slab endpoint returns the same region.
+	body, _ := json.Marshal(slabRequest{Dataset: "data", Start: []int{24, 16}, Count: []int{6, 4}})
+	sresp, err := http.Post(ts.URL+"/slab", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("slab status = %d", sresp.StatusCode)
+	}
+	svals, err := decodeFrame(sresp.Body, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range vals {
+		if svals[k] != vals[k] {
+			t.Fatalf("slab[%d] = %v, chunk[%d] = %v", k, svals[k], k, vals[k])
+		}
+	}
+}
+
+func TestContiguousOriginGetsServingChunks(t *testing.T) {
+	space := array.MustSpace(128, 128)
+	_, ts := startServer(t, space, nil)
+
+	meta := getMeta(t, ts, "data")
+	if meta.Chunked {
+		t.Error("contiguous origin reported as chunked")
+	}
+	vol := 1
+	for _, c := range meta.Chunk {
+		vol *= c
+	}
+	if vol > defaultServingElems || vol <= 0 {
+		t.Errorf("serving chunk %v volume %d exceeds target %d", meta.Chunk, vol, defaultServingElems)
+	}
+	resp, err := http.Get(ts.URL + "/chunk?dataset=data&chunk=0,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	vals, err := decodeFrame(resp.Body, int64(meta.Chunk[0]*meta.Chunk[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := originValue(space, array.NewIndex(0, 1)); vals[1] != want {
+		t.Errorf("vals[1] = %v, want %v", vals[1], want)
+	}
+}
+
+func TestServingChunkDerivation(t *testing.T) {
+	cases := []struct {
+		dims   []int
+		target int64
+	}{
+		{[]int{128, 128}, 4096},
+		{[]int{1, 1}, 4096},
+		{[]int{5000}, 4096},
+		{[]int{3, 7, 11}, 16},
+		{[]int{1024, 1, 1024}, 4096},
+	}
+	for _, c := range cases {
+		chunk := servingChunk(c.dims, c.target)
+		vol := int64(1)
+		for k, e := range chunk {
+			if e < 1 || e > c.dims[k] {
+				t.Errorf("servingChunk(%v) = %v: extent %d out of range", c.dims, chunk, e)
+			}
+			vol *= int64(e)
+		}
+		if vol > c.target {
+			t.Errorf("servingChunk(%v, %d) = %v: volume %d over target", c.dims, c.target, chunk, vol)
+		}
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	space := array.MustSpace(16, 16)
+	_, ts := startServer(t, space, []int{4, 4})
+
+	status := func(t *testing.T, url string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := status(t, "/meta?dataset=nope"); got != http.StatusNotFound {
+		t.Errorf("unknown dataset meta = %d, want 404", got)
+	}
+	if got := status(t, "/chunk?dataset=nope&chunk=0,0"); got != http.StatusNotFound {
+		t.Errorf("unknown dataset chunk = %d, want 404", got)
+	}
+	if got := status(t, "/chunk?dataset=data"); got != http.StatusBadRequest {
+		t.Errorf("missing chunk param = %d, want 400", got)
+	}
+	if got := status(t, "/chunk?dataset=data&chunk=a,b"); got != http.StatusBadRequest {
+		t.Errorf("malformed chunk = %d, want 400", got)
+	}
+	if got := status(t, "/chunk?dataset=data&chunk=-1,0"); got != http.StatusBadRequest {
+		t.Errorf("negative chunk = %d, want 400", got)
+	}
+	if got := status(t, "/chunk?dataset=data&chunk=99,0"); got != http.StatusBadRequest {
+		t.Errorf("out-of-grid chunk = %d, want 400", got)
+	}
+	if got := status(t, "/chunk?dataset=data&chunk=0"); got != http.StatusBadRequest {
+		t.Errorf("rank-mismatched chunk = %d, want 400", got)
+	}
+	if got := status(t, "/element?dataset=data&index=-3,0"); got != http.StatusBadRequest {
+		t.Errorf("negative element index = %d, want 400", got)
+	}
+	if got := status(t, "/element?dataset=data&index=99,99"); got != http.StatusBadRequest {
+		t.Errorf("out-of-bounds element = %d, want 400", got)
+	}
+	if got := status(t, "/slab"); got != http.StatusMethodNotAllowed {
+		t.Errorf("GET /slab = %d, want 405", got)
+	}
+	resp, err := http.Post(ts.URL+"/slab", "application/json", strings.NewReader("{garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad slab JSON = %d, want 400", resp.StatusCode)
+	}
+	body, _ := json.Marshal(slabRequest{Dataset: "data", Start: []int{0}, Count: []int{4}})
+	resp, err = http.Post(ts.URL+"/slab", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("rank-mismatched slab = %d, want 400", resp.StatusCode)
+	}
+	body, _ = json.Marshal(slabRequest{Dataset: "data", Start: []int{0, 0}, Count: []int{99, 1}})
+	resp, err = http.Post(ts.URL+"/slab", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-bounds slab = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestClosedServerReturns503(t *testing.T) {
+	space := array.MustSpace(8, 8)
+	srv, ts := startServer(t, space, []int{4, 4})
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	for _, url := range []string{"/datasets", "/meta?dataset=data", "/chunk?dataset=data&chunk=0,0"} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s after close = %d, want 503", url, resp.StatusCode)
+		}
+	}
+}
+
+// TestDebloatedOriginAnswersGone serves a *debloated* file as origin:
+// a chunk that was carved away answers 410 Gone, and the client maps
+// it back onto the data-missing exception.
+func TestDebloatedOriginAnswersGone(t *testing.T) {
+	space := array.MustSpace(16, 16)
+	origin := writeOriginFile(t, space, nil)
+
+	// Keep only the top-left 4x4 block.
+	keep := array.NewIndexSet(space)
+	space.Each(func(ix array.Index) bool {
+		if ix[0] < 4 && ix[1] < 4 {
+			keep.Add(ix)
+		}
+		return true
+	})
+	deb := filepath.Join(t.TempDir(), "deb.sdf")
+	if _, err := debloat.WriteSubset(origin, deb, "data", keep, []int{4, 4}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(deb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/chunk?dataset=data&chunk=3,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("carved chunk = %d, want 410", resp.StatusCode)
+	}
+
+	f := NewFetcher(ts.URL, nil)
+	_, err = f.Fetch("data", array.NewIndex(15, 15))
+	if !errors.Is(err, sdf.ErrDataMissing) {
+		t.Errorf("carved fetch error = %v, want ErrDataMissing", err)
+	}
+	if _, err := f.Fetch("data", array.NewIndex(1, 1)); err != nil {
+		t.Errorf("kept fetch: %v", err)
+	}
+}
+
+func TestMetricsAndHealthz(t *testing.T) {
+	space := array.MustSpace(16, 16)
+	srv, ts := startServer(t, space, []int{4, 4})
+
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/chunk?dataset=data&chunk=0,0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/chunk?dataset=nope&chunk=0,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	stats := srv.Metrics()
+	chunk := stats.Endpoint("chunk")
+	if chunk.Requests != 4 || chunk.Errors != 1 {
+		t.Errorf("chunk stats = %+v", chunk)
+	}
+	if chunk.Bytes <= 0 {
+		t.Error("no bytes recorded")
+	}
+
+	// The /metrics endpoint serves the same snapshot as JSON.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var remote struct {
+		Requests int64 `json:"requests"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&remote); err != nil {
+		t.Fatal(err)
+	}
+	if remote.Requests < 4 {
+		t.Errorf("/metrics requests = %d, want >= 4", remote.Requests)
+	}
+}

@@ -1,0 +1,50 @@
+package dataserve
+
+import "sync"
+
+// flightGroup deduplicates concurrent fetches of the same key: the
+// first caller performs the work, later callers block until it
+// finishes and share the result. Results are not cached here — the
+// chunkCache does that — so a failed flight is retried by the next
+// caller.
+type flightGroup struct {
+	mu     sync.Mutex
+	flight map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	vals []float64
+	err  error
+	dups int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flight: make(map[string]*flightCall)}
+}
+
+// do runs fn under key, collapsing concurrent duplicates onto the
+// first in-flight call. It reports how many callers shared the result
+// via the dup return (0 for the caller that did the work). The
+// in-flight call runs under the initiating caller's context; a waiter
+// whose initiator is canceled receives the initiator's error and may
+// simply retry.
+func (g *flightGroup) do(key string, fn func() ([]float64, error)) (vals []float64, err error, dup bool) {
+	g.mu.Lock()
+	if c, ok := g.flight[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		<-c.done
+		return c.vals, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.flight[key] = c
+	g.mu.Unlock()
+
+	c.vals, c.err = fn()
+	g.mu.Lock()
+	delete(g.flight, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.vals, c.err, false
+}

@@ -1,0 +1,70 @@
+package dataserve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, vals := range [][]float64{nil, {1.5}, {0, -3.25, 1e300, 42}} {
+		buf := encodeFrame(vals)
+		got, err := decodeFrame(bytes.NewReader(buf), int64(len(vals)))
+		if err != nil {
+			t.Fatalf("decode(%v): %v", vals, err)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Errorf("value %d = %v, want %v", i, got[i], vals[i])
+			}
+		}
+		// Any-count mode accepts the frame too.
+		if _, err := decodeFrame(bytes.NewReader(buf), -1); err != nil {
+			t.Errorf("any-count decode: %v", err)
+		}
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	good := encodeFrame([]float64{1, 2, 3})
+
+	cases := []struct {
+		name string
+		buf  []byte
+		want int64 // expected value count passed to decodeFrame
+		msg  string
+	}{
+		{"empty", nil, 3, "truncated frame header"},
+		{"short header", good[:6], 3, "truncated frame header"},
+		{"bad magic", append([]byte("XXXX"), good[4:]...), 3, "bad frame magic"},
+		{"truncated payload", good[:len(good)-8], 3, "truncated frame payload"},
+		{"count mismatch", good, 2, "want 2"},
+		{"trailing bytes", append(append([]byte(nil), good...), 0xFF), 3, "trailing bytes"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := decodeFrame(bytes.NewReader(c.buf), c.want)
+			if err == nil || !strings.Contains(err.Error(), c.msg) {
+				t.Errorf("err = %v, want substring %q", err, c.msg)
+			}
+		})
+	}
+
+	// Flipped payload bit fails the checksum.
+	corrupt := append([]byte(nil), good...)
+	corrupt[frameHeaderSize] ^= 0x01
+	if _, err := decodeFrame(bytes.NewReader(corrupt), 3); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupted payload err = %v, want checksum mismatch", err)
+	}
+
+	// An absurd claimed count is rejected before allocation.
+	huge := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(huge[4:], 1<<30)
+	if _, err := decodeFrame(bytes.NewReader(huge), -1); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("huge count err = %v, want limit error", err)
+	}
+}

@@ -1,9 +1,11 @@
 package debloat
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/array"
 	"repro/internal/sdf"
@@ -22,12 +24,25 @@ type Fetcher interface {
 	Fetch(dataset string, ix array.Index) (float64, error)
 }
 
+// ContextFetcher is a Fetcher whose fetches honor a context: network
+// fetchers implement it so a canceled run or a dead origin server
+// stops a recovery instead of hanging the debloated runtime.
+type ContextFetcher interface {
+	Fetcher
+	FetchContext(ctx context.Context, dataset string, ix array.Index) (float64, error)
+}
+
 // OriginFetcher serves misses from the original (un-debloated) file —
-// the repository copy the container was built from.
+// the repository copy the container was built from. It is safe for
+// concurrent use: the origin is opened once and reads go through the
+// stateless ReadAt path, so concurrent misses proceed in parallel
+// under a shared read lock instead of convoying behind one mutex.
 type OriginFetcher struct {
-	mu   sync.Mutex
 	path string
-	file *sdf.File
+
+	mu     sync.RWMutex
+	file   *sdf.File
+	closed bool
 }
 
 // NewOriginFetcher returns a fetcher reading from the original file at
@@ -36,28 +51,64 @@ func NewOriginFetcher(path string) *OriginFetcher {
 	return &OriginFetcher{path: path}
 }
 
-// Fetch implements Fetcher.
-func (f *OriginFetcher) Fetch(dataset string, ix array.Index) (float64, error) {
+// open returns the origin file, opening it on first use.
+func (f *OriginFetcher) open() (*sdf.File, error) {
+	f.mu.RLock()
+	file := f.file
+	f.mu.RUnlock()
+	if file != nil {
+		return file, nil
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.closed {
+		return nil, fmt.Errorf("debloat: origin fetcher closed")
+	}
 	if f.file == nil {
 		file, err := sdf.Open(f.path)
 		if err != nil {
-			return 0, fmt.Errorf("debloat: opening origin: %w", err)
+			return nil, fmt.Errorf("debloat: opening origin: %w", err)
 		}
 		f.file = file
 	}
-	ds, err := f.file.Dataset(dataset)
+	return f.file, nil
+}
+
+// Fetch implements Fetcher.
+func (f *OriginFetcher) Fetch(dataset string, ix array.Index) (float64, error) {
+	return f.FetchContext(context.Background(), dataset, ix)
+}
+
+// FetchContext implements ContextFetcher. The read itself is local
+// disk I/O; the context is only consulted before issuing it.
+func (f *OriginFetcher) FetchContext(ctx context.Context, dataset string, ix array.Index) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	file, err := f.open()
+	if err != nil {
+		return 0, err
+	}
+	// Hold the read lock across the read so a concurrent Close cannot
+	// yank the descriptor mid-I/O; readers do not block each other.
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.file == nil {
+		return 0, fmt.Errorf("debloat: origin fetcher closed")
+	}
+	ds, err := file.Dataset(dataset)
 	if err != nil {
 		return 0, err
 	}
 	return ds.ReadElement(ix)
 }
 
-// Close releases the origin file if it was opened.
+// Close releases the origin file if it was opened. Fetches after
+// Close fail rather than silently reopening the file.
 func (f *OriginFetcher) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.closed = true
 	if f.file == nil {
 		return nil
 	}
@@ -69,37 +120,43 @@ func (f *OriginFetcher) Close() error {
 // Runtime serves a program's reads from a debloated file. Reads of
 // carved-away data raise the data-missing exception, or are recovered
 // through the fetcher when one is attached. Misses are counted either
-// way, giving the §V-D1 missed-access telemetry.
+// way, giving the §V-D1 missed-access telemetry. A Runtime is safe
+// for concurrent use when its fetcher is.
 type Runtime struct {
 	ds      *sdf.Dataset
 	fetcher Fetcher
 	name    string
+	ctx     context.Context
 
-	mu     sync.Mutex
-	misses int64
+	misses    atomic.Int64
+	recovered atomic.Int64
 }
 
 // NewRuntime returns a runtime over one dataset of an opened debloated
 // file. fetcher may be nil, in which case misses are fatal.
 func NewRuntime(ds *sdf.Dataset, fetcher Fetcher) *Runtime {
-	return &Runtime{ds: ds, fetcher: fetcher, name: ds.Name()}
+	return NewRuntimeContext(context.Background(), ds, fetcher)
+}
+
+// NewRuntimeContext returns a runtime whose recoveries run under ctx:
+// when the fetcher is a ContextFetcher, canceling ctx aborts in-flight
+// and future fetches.
+func NewRuntimeContext(ctx context.Context, ds *sdf.Dataset, fetcher Fetcher) *Runtime {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Runtime{ds: ds, fetcher: fetcher, name: ds.Name(), ctx: ctx}
 }
 
 // Space implements workload.Accessor.
 func (rt *Runtime) Space() array.Space { return rt.ds.Space() }
 
 // Misses returns how many element reads touched carved-away data.
-func (rt *Runtime) Misses() int64 {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.misses
-}
+func (rt *Runtime) Misses() int64 { return rt.misses.Load() }
 
-func (rt *Runtime) noteMiss() {
-	rt.mu.Lock()
-	rt.misses++
-	rt.mu.Unlock()
-}
+// Recovered returns how many missed reads were successfully recovered
+// through the fetcher.
+func (rt *Runtime) Recovered() int64 { return rt.recovered.Load() }
 
 // ReadElement implements workload.Accessor with miss recovery.
 func (rt *Runtime) ReadElement(ix array.Index) (float64, error) {
@@ -110,16 +167,27 @@ func (rt *Runtime) ReadElement(ix array.Index) (float64, error) {
 	if !errors.Is(err, sdf.ErrDataMissing) {
 		return 0, err
 	}
-	rt.noteMiss()
+	rt.misses.Add(1)
 	if rt.fetcher == nil {
 		return 0, fmt.Errorf("debloat: %w at %v of %q", ErrDataMissing, ix, rt.name)
 	}
-	return rt.fetcher.Fetch(rt.name, ix)
+	if cf, ok := rt.fetcher.(ContextFetcher); ok {
+		v, err = cf.FetchContext(rt.ctx, rt.name, ix)
+	} else {
+		v, err = rt.fetcher.Fetch(rt.name, ix)
+	}
+	if err != nil {
+		return 0, err
+	}
+	rt.recovered.Add(1)
+	return v, nil
 }
 
 // ReadSlab implements workload.Accessor: the dense block read of the
 // workload layer, served element-wise so that partially-present blocks
-// recover only the missing elements.
+// recover only the missing elements. With a chunk-caching fetcher
+// (dataserve.Fetcher) the element-wise fallback stays cheap: the first
+// miss of a chunk pulls the whole chunk and its neighbors hit memory.
 func (rt *Runtime) ReadSlab(start, count []int) ([]float64, error) {
 	sel := sdf.Slab(start, count)
 	if err := sel.Validate(rt.ds.Space()); err != nil {

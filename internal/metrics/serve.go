@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// serveBuckets are the latency histogram bucket upper bounds of the
+// recovery data plane, spanning in-memory cache-adjacent handling
+// (tens of microseconds) to a slow origin disk or network (seconds).
+var serveBuckets = []time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+}
+
+// ServeBucketBounds returns the histogram bucket upper bounds used by
+// ServeRecorder (the last implicit bucket is +Inf).
+func ServeBucketBounds() []time.Duration {
+	return append([]time.Duration(nil), serveBuckets...)
+}
+
+// EndpointStats is the per-endpoint counter snapshot of a recovery
+// server: request and error counts, payload bytes served, and a
+// fixed-bucket latency histogram.
+type EndpointStats struct {
+	Endpoint string `json:"endpoint"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"` // responses with status >= 400
+	Bytes    int64  `json:"bytes"`  // payload bytes written
+	// Latency[i] counts requests completed within serveBuckets[i];
+	// the final entry counts everything slower than the last bound.
+	Latency []int64 `json:"latency_buckets"`
+	// TotalLatencyNS accumulates summed request latency, for mean
+	// latency without histogram interpolation.
+	TotalLatencyNS int64 `json:"total_latency_ns"`
+}
+
+// MeanLatency returns the average request latency of the endpoint.
+func (e EndpointStats) MeanLatency() time.Duration {
+	if e.Requests == 0 {
+		return 0
+	}
+	return time.Duration(e.TotalLatencyNS / e.Requests)
+}
+
+// ServeStats is a point-in-time snapshot of a ServeRecorder, ordered
+// by endpoint name. It is the JSON body of the /metrics endpoint.
+type ServeStats struct {
+	Endpoints []EndpointStats `json:"endpoints"`
+	// Requests, Errors and Bytes aggregate across endpoints.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// Endpoint returns the stats of one endpoint (zero value if the
+// endpoint has not been hit).
+func (s ServeStats) Endpoint(name string) EndpointStats {
+	for _, e := range s.Endpoints {
+		if e.Endpoint == name {
+			return e
+		}
+	}
+	return EndpointStats{Endpoint: name}
+}
+
+// String renders a compact multi-line summary.
+func (s ServeStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d requests (%d errors), %d payload bytes", s.Requests, s.Errors, s.Bytes)
+	for _, e := range s.Endpoints {
+		fmt.Fprintf(&b, "\n  %-10s %8d req  %6d err  %12d B  mean %v",
+			e.Endpoint, e.Requests, e.Errors, e.Bytes, e.MeanLatency().Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// ServeRecorder collects per-endpoint request metrics for the recovery
+// data plane. It is safe for concurrent use by HTTP handlers.
+type ServeRecorder struct {
+	mu  sync.Mutex
+	per map[string]*EndpointStats
+}
+
+// NewServeRecorder returns an empty recorder.
+func NewServeRecorder() *ServeRecorder {
+	return &ServeRecorder{per: make(map[string]*EndpointStats)}
+}
+
+// Record notes one completed request: its endpoint, HTTP status,
+// payload bytes written, and wall-clock latency.
+func (r *ServeRecorder) Record(endpoint string, status int, bytes int64, elapsed time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.per[endpoint]
+	if !ok {
+		e = &EndpointStats{Endpoint: endpoint, Latency: make([]int64, len(serveBuckets)+1)}
+		r.per[endpoint] = e
+	}
+	e.Requests++
+	if status >= 400 {
+		e.Errors++
+	}
+	e.Bytes += bytes
+	e.TotalLatencyNS += elapsed.Nanoseconds()
+	i := sort.Search(len(serveBuckets), func(i int) bool { return elapsed <= serveBuckets[i] })
+	e.Latency[i]++
+}
+
+// Snapshot returns a copy of the accumulated stats.
+func (r *ServeRecorder) Snapshot() ServeStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s ServeStats
+	for _, e := range r.per {
+		cp := *e
+		cp.Latency = append([]int64(nil), e.Latency...)
+		s.Endpoints = append(s.Endpoints, cp)
+		s.Requests += e.Requests
+		s.Errors += e.Errors
+		s.Bytes += e.Bytes
+	}
+	sort.Slice(s.Endpoints, func(i, j int) bool { return s.Endpoints[i].Endpoint < s.Endpoints[j].Endpoint })
+	return s
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServeRecorderCounts(t *testing.T) {
+	r := NewServeRecorder()
+	r.Record("chunk", 200, 1024, 80*time.Microsecond)
+	r.Record("chunk", 200, 2048, 300*time.Microsecond)
+	r.Record("chunk", 404, 32, 2*time.Second) // beyond the last bucket
+	r.Record("element", 200, 16, time.Millisecond)
+
+	s := r.Snapshot()
+	if s.Requests != 4 || s.Errors != 1 || s.Bytes != 1024+2048+32+16 {
+		t.Errorf("aggregate = %d req, %d err, %d B", s.Requests, s.Errors, s.Bytes)
+	}
+	c := s.Endpoint("chunk")
+	if c.Requests != 3 || c.Errors != 1 || c.Bytes != 1024+2048+32 {
+		t.Errorf("chunk = %+v", c)
+	}
+	// 80µs lands in the second bucket (≤100µs), 300µs in the fourth
+	// (≤500µs), 2s in the overflow bucket.
+	bounds := ServeBucketBounds()
+	if len(c.Latency) != len(bounds)+1 {
+		t.Fatalf("latency has %d buckets, want %d", len(c.Latency), len(bounds)+1)
+	}
+	if c.Latency[1] != 1 || c.Latency[3] != 1 || c.Latency[len(bounds)] != 1 {
+		t.Errorf("latency buckets = %v", c.Latency)
+	}
+	var total int64
+	for _, n := range c.Latency {
+		total += n
+	}
+	if total != c.Requests {
+		t.Errorf("histogram total %d != requests %d", total, c.Requests)
+	}
+	if got := c.MeanLatency(); got <= 0 {
+		t.Errorf("mean latency = %v", got)
+	}
+	// Unknown endpoint yields the zero value.
+	if e := s.Endpoint("nope"); e.Requests != 0 || e.Endpoint != "nope" {
+		t.Errorf("unknown endpoint = %+v", e)
+	}
+}
+
+func TestServeStatsJSONAndString(t *testing.T) {
+	r := NewServeRecorder()
+	r.Record("slab", 200, 100, time.Millisecond)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ServeStats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests != 1 || back.Endpoint("slab").Bytes != 100 {
+		t.Errorf("round-tripped = %+v", back)
+	}
+	if s := back.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestServeRecorderConcurrent(t *testing.T) {
+	r := NewServeRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Record("chunk", 200, 8, time.Microsecond)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Snapshot().Requests; got != 800 {
+		t.Errorf("requests = %d, want 800", got)
+	}
+}

@@ -1,9 +1,14 @@
-// Package remote implements the missing-data recovery path sketched in
-// paper §VI: "a container runtime can use audited information to pull
-// missing data offsets from a remote server, when requested." A Server
-// exposes the original (un-debloated) data file over HTTP; the Client
-// is a debloat.Fetcher that resolves data-missing exceptions by
-// fetching individual elements from it.
+// Package remote implements the element-granular missing-data recovery
+// path sketched in paper §VI: "a container runtime can use audited
+// information to pull missing data offsets from a remote server, when
+// requested." A Server exposes the original (un-debloated) data file
+// over HTTP; the Client is a debloat.Fetcher that resolves
+// data-missing exceptions by fetching individual elements from it.
+//
+// This is the compatibility protocol: one element per round trip,
+// JSON-framed. The production data plane — chunk-granular batch
+// transfer, client-side caching, retries — lives in
+// internal/dataserve, whose server keeps these endpoints alive.
 //
 // Wire protocol (JSON over HTTP):
 //
@@ -15,20 +20,31 @@
 package remote
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/sdf"
 )
 
-// Server serves element reads from an origin sdf file.
+// DefaultTimeout bounds one element fetch when the caller supplies no
+// HTTP client and no context deadline: a dead origin fails instead of
+// hanging the debloated runtime forever.
+const DefaultTimeout = 10 * time.Second
+
+// Server serves element reads from an origin sdf file. Reads are
+// concurrent: the RWMutex is held shared during requests and
+// exclusively only by Close, so concurrent misses no longer convoy
+// behind a single lock.
 type Server struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	file *sdf.File
 }
 
@@ -41,7 +57,7 @@ func NewServer(originPath string) (*Server, error) {
 	return &Server{file: f}, nil
 }
 
-// Close releases the origin file.
+// Close releases the origin file. In-flight reads finish first.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -72,8 +88,8 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.file == nil {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("origin closed"))
 		return
@@ -93,8 +109,8 @@ func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.file == nil {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("origin closed"))
 		return
@@ -125,41 +141,48 @@ func parseIndex(s string) (array.Index, error) {
 	return ix, nil
 }
 
-// Client fetches missing elements over HTTP. It implements
-// debloat.Fetcher.
+// Client fetches missing elements over HTTP, one element per round
+// trip. It implements debloat.Fetcher and debloat.ContextFetcher and
+// is safe for concurrent use.
 type Client struct {
 	baseURL string
 	http    *http.Client
-
-	mu      sync.Mutex
-	fetched int64
+	fetched atomic.Int64
 }
 
 // NewClient returns a client against the server's base URL (e.g.
-// "http://127.0.0.1:8080"). A nil httpClient uses
-// http.DefaultClient.
+// "http://127.0.0.1:8080"). A nil httpClient gets a dedicated client
+// with DefaultTimeout, so fetches cannot hang on a dead server.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = &http.Client{Timeout: DefaultTimeout}
 	}
 	return &Client{baseURL: strings.TrimSuffix(baseURL, "/"), http: httpClient}
 }
 
 // Fetched returns how many elements the client has pulled.
 func (c *Client) Fetched() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.fetched
+	return c.fetched.Load()
 }
 
 // Fetch implements debloat.Fetcher by requesting one element.
 func (c *Client) Fetch(dataset string, ix array.Index) (float64, error) {
+	return c.FetchContext(context.Background(), dataset, ix)
+}
+
+// FetchContext implements debloat.ContextFetcher: the request is
+// bound to ctx, so cancellation or a deadline aborts a hung fetch.
+func (c *Client) FetchContext(ctx context.Context, dataset string, ix array.Index) (float64, error) {
 	parts := make([]string, len(ix))
 	for i, v := range ix {
 		parts[i] = strconv.Itoa(v)
 	}
 	url := fmt.Sprintf("%s/element?dataset=%s&index=%s", c.baseURL, dataset, strings.Join(parts, ","))
-	resp, err := c.http.Get(url)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, fmt.Errorf("remote: fetch %v: %w", ix, err)
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("remote: fetch %v: %w", ix, err)
 	}
@@ -177,8 +200,6 @@ func (c *Client) Fetch(dataset string, ix array.Index) (float64, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return 0, fmt.Errorf("remote: decoding response: %w", err)
 	}
-	c.mu.Lock()
-	c.fetched++
-	c.mu.Unlock()
+	c.fetched.Add(1)
 	return out.Value, nil
 }

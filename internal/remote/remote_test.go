@@ -1,9 +1,15 @@
 package remote
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/debloat"
@@ -170,5 +176,104 @@ func TestClosedServer(t *testing.T) {
 	client := NewClient(ts.URL+"/", nil) // trailing slash is trimmed
 	if _, err := client.Fetch("data", array.NewIndex(0, 0)); err == nil {
 		t.Error("closed server should error")
+	}
+}
+
+func TestClientDefaultTimeout(t *testing.T) {
+	c := NewClient("http://127.0.0.1:0", nil)
+	if c.http.Timeout != DefaultTimeout {
+		t.Errorf("default timeout = %v, want %v", c.http.Timeout, DefaultTimeout)
+	}
+}
+
+func TestFetchContextCancellation(t *testing.T) {
+	block := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer ts.Close()
+	defer close(block)
+
+	// Long client timeout: the context must be what cuts the fetch short.
+	client := NewClient(ts.URL, &http.Client{Timeout: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.FetchContext(ctx, "data", array.NewIndex(0, 0))
+	if err == nil {
+		t.Fatal("canceled fetch succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("canceled fetch took %v", elapsed)
+	}
+}
+
+func TestDeadServerErrorsInsteadOfHanging(t *testing.T) {
+	origin, _ := writeOrigin(t)
+	srv, err := NewServer(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	url := ts.URL
+	ts.Close()
+
+	client := NewClient(url, nil)
+	start := time.Now()
+	if _, err := client.Fetch("data", array.NewIndex(0, 0)); err == nil {
+		t.Fatal("fetch against dead server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > DefaultTimeout+2*time.Second {
+		t.Errorf("fetch took %v, want bounded by default timeout", elapsed)
+	}
+}
+
+// TestConcurrentFetches exercises the server's shared read lock: many
+// clients fetching at once must not serialize into corruption (run
+// under -race) and all values must be correct.
+func TestConcurrentFetches(t *testing.T) {
+	origin, space := writeOrigin(t)
+	srv, err := NewServer(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL, nil)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ix := array.NewIndex((g*5+i)%32, (g*11+i*3)%32)
+				v, err := client.Fetch("data", ix)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				lin, _ := space.Linear(ix)
+				if v != float64(lin)*2 {
+					errCh <- fmt.Errorf("fetch(%v) = %v, want %v", ix, v, float64(lin)*2)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := client.Fetched(); got != 400 {
+		t.Errorf("fetched = %d, want 400", got)
 	}
 }

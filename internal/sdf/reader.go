@@ -181,6 +181,11 @@ func (d *Dataset) ChunkShape() []int {
 	return d.chunked.ChunkShape()
 }
 
+// ChunkLayout returns the chunked layout of a chunked dataset, or nil
+// for contiguous and packed datasets. The recovery data plane uses it
+// to enumerate chunk coordinates for chunk-granular serving.
+func (d *Dataset) ChunkLayout() *array.ChunkedLayout { return d.chunked }
+
 // StoredBytes returns the number of data bytes this dataset occupies
 // in the file. For a debloated dataset this excludes carved-away
 // chunks — the quantity Fig. 9's % data reduction is computed from.

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/container"
+	"repro/internal/dataserve"
 	"repro/internal/debloat"
 	"repro/internal/ioevent"
 	"repro/internal/kondo"
@@ -182,6 +183,13 @@ type Runtime = debloat.Runtime
 // OpenRuntime opens a debloated data file and returns a Runtime over
 // the named dataset, plus a closer for the underlying file.
 func OpenRuntime(path, dataset string, fetcher Fetcher) (*Runtime, io.Closer, error) {
+	return OpenRuntimeContext(context.Background(), path, dataset, fetcher)
+}
+
+// OpenRuntimeContext is OpenRuntime with recoveries bound to ctx:
+// when fetcher is a ContextFetcher, canceling ctx aborts in-flight
+// and future fetches.
+func OpenRuntimeContext(ctx context.Context, path, dataset string, fetcher Fetcher) (*Runtime, io.Closer, error) {
 	f, err := sdf.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -191,12 +199,57 @@ func OpenRuntime(path, dataset string, fetcher Fetcher) (*Runtime, io.Closer, er
 		f.Close()
 		return nil, nil, err
 	}
-	return debloat.NewRuntime(ds, fetcher), f, nil
+	return debloat.NewRuntimeContext(ctx, ds, fetcher), f, nil
+}
+
+// ContextFetcher is a Fetcher whose fetches honor a context, so a
+// canceled run or a dead origin aborts recovery instead of hanging.
+type ContextFetcher = debloat.ContextFetcher
+
+// DataServer is the production recovery data plane (paper §VI): it
+// serves an origin file chunk- and hyperslab-granular over HTTP with
+// binary value frames, keeps the element/datasets endpoints of the
+// legacy protocol alive, and exposes request metrics on /metrics. The
+// kondo-serve daemon wraps it.
+type DataServer = dataserve.Server
+
+// NewDataServer opens the origin file and returns a data-plane server;
+// mount its Handler() on any net/http server.
+func NewDataServer(originPath string) (*DataServer, error) {
+	return dataserve.NewServer(originPath)
+}
+
+// CachedFetcher recovers carved-away elements from a DataServer: one
+// miss pulls the whole containing chunk over a single round trip into
+// a bounded LRU cache, concurrent misses on a chunk collapse onto one
+// request, and a flaky or dead origin degrades to ErrDataMissing after
+// bounded retries instead of hanging.
+type CachedFetcher = dataserve.Fetcher
+
+// CachedFetcherConfig tunes a CachedFetcher's cache size, timeouts,
+// and retry policy.
+type CachedFetcherConfig = dataserve.FetcherConfig
+
+// FetchStats snapshots a CachedFetcher's counters: elements served,
+// HTTP round trips, retries, and cache hit rate.
+type FetchStats = dataserve.FetchStats
+
+// NewCachedFetcher returns a caching fetcher against a DataServer's
+// base URL with default configuration.
+func NewCachedFetcher(baseURL string) *CachedFetcher {
+	return dataserve.NewFetcher(baseURL, nil)
+}
+
+// NewCachedFetcherConfig returns a caching fetcher with explicit
+// configuration.
+func NewCachedFetcherConfig(baseURL string, cfg CachedFetcherConfig) *CachedFetcher {
+	return dataserve.NewFetcherConfig(baseURL, nil, cfg)
 }
 
 // RemoteServer serves an origin data file's elements over HTTP so
 // debloated-container runtimes can recover carved-away accesses
-// (paper §VI).
+// (paper §VI). It speaks the element-per-round-trip compatibility
+// protocol; prefer DataServer for production serving.
 type RemoteServer = remote.Server
 
 // NewRemoteServer opens the origin file and returns a server; mount
