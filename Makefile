@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench-quick
+.PHONY: build test race vet verify bench-quick lint-prints trace-demo
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,37 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-# verify is the full tier-1 check: build, vet, plain tests, and the
-# race-detector pass over the concurrent paths.
-verify: build vet test race
+# lint-prints rejects unconditional printing from library packages:
+# everything under internal/ must route diagnostics through
+# internal/obs (slog, off by default) so importing a Kondo package
+# never writes to a host program's stdout/stderr. CLIs under cmd/ are
+# the allowlist — user-facing output belongs there.
+lint-prints:
+	@bad=$$(grep -rn 'fmt\.Print\|log\.Print\|log\.Fatal\|log\.Panic\|\bprintln(' internal --include='*.go' | grep -v '_test\.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-prints: unconditional printing in library code (use internal/obs):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "lint-prints: OK"
+
+# verify is the full tier-1 check: build, vet, the print lint, plain
+# tests, and the race-detector pass over the concurrent paths.
+verify: build vet lint-prints test race
 	@echo "verify: OK"
 
 bench-quick:
 	$(GO) run ./cmd/kondo-bench -exp all -quick
+
+# trace-demo runs a small debloat campaign with tracing on and
+# validates the emitted Chrome trace-event JSON with the kondo-viz
+# schema checker. Open the file in https://ui.perfetto.dev to see the
+# fuzz/carve/write phases and the per-worker lanes.
+TRACE_DEMO_OUT ?= trace-demo.json
+trace-demo:
+	$(GO) run ./cmd/sdfgen -out trace-demo-data.sdf -dims 128x128 -dtype float64 -chunk 16x16
+	$(GO) run ./cmd/kondo -program CS2 -budget 400 -workers 4 \
+		-data trace-demo-data.sdf -out trace-demo-debloated.sdf \
+		-trace-out $(TRACE_DEMO_OUT)
+	$(GO) run ./cmd/kondo-viz -check-trace $(TRACE_DEMO_OUT)
+	@rm -f trace-demo-data.sdf trace-demo-debloated.sdf

@@ -28,6 +28,7 @@ import (
 	"repro/internal/ioevent"
 	"repro/internal/kondo"
 	"repro/internal/metrics"
+	kobs "repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/sdf"
 	"repro/internal/trace"
@@ -680,5 +681,31 @@ func BenchmarkRecoveryThroughput(b *testing.B) {
 		b.ReportMetric(float64(slabElems*b.N)/elapsed, "elems/s")
 		b.ReportMetric(float64(st.RoundTrips)/float64(b.N), "round-trips/run")
 		b.ReportMetric(100*st.HitRate(), "%cache-hit")
+	})
+	// The overhead guard for the observability layer: the same cached
+	// recovery path with a live trace and metrics registry in the
+	// context. Compare elems/s against "cached" above — with tracing
+	// only on the miss path, the gap must stay within noise (≤2%).
+	b.Run("cached+traced", func(b *testing.B) {
+		fetcher := dataserve.NewFetcher(ts.URL, nil)
+		tr := kobs.NewTrace()
+		reg := kobs.NewRegistry()
+		fetcher.Register(reg)
+		ctx := kobs.WithRegistry(kobs.WithTrace(context.Background(), tr), reg)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			rt := debloat.NewRuntimeContext(ctx, ds, fetcher)
+			vals, err := rt.ReadSlab([]int{0, 0, 20}, []int{16, 8, 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(vals) != slabElems || rt.Misses() == 0 {
+				b.Fatalf("run recovered %d values with %d misses", len(vals), rt.Misses())
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		b.ReportMetric(float64(slabElems*b.N)/elapsed, "elems/s")
+		b.ReportMetric(float64(tr.Len())/float64(b.N), "trace-events/run")
 	})
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -32,8 +33,17 @@ func main() {
 		workers = flag.Int("workers", 0, "fuzz worker-pool size per campaign (0 = one per CPU)")
 		timeout = flag.Duration("timeout", 0, "overall deadline across all experiments (0 = none)")
 		csvDir  = flag.String("csv", "", "also write each report as <dir>/<exp>.csv")
+
+		traceOut  = flag.String("trace-out", "", "optional: write a Chrome trace-event JSON of the experiments")
+		logLevel  = flag.String("log-level", "warn", "diagnostic log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+
+	if _, err := obs.SetupCLILogger(*logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "kondo-bench:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(bench.Experiments(), "\n"))
@@ -66,13 +76,34 @@ func main() {
 		opts.EvalBudget = *budget
 	}
 
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	defer func() {
+		if tr == nil {
+			return
+		}
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "kondo-bench: writing trace:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "kondo-bench: trace written to %s (%d events)\n", *traceOut, tr.Len())
+		}
+	}()
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = bench.Experiments()
 	}
 	for _, id := range ids {
 		start := time.Now()
+		sp := obs.Start(ctx, "bench.experiment")
+		if sp != nil {
+			sp.Arg("id", id)
+		}
 		rep, err := bench.Run(ctx, id, opts)
+		sp.End()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kondo-bench:", err)
 			os.Exit(1)

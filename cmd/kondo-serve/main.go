@@ -5,11 +5,15 @@
 //
 //	kondo-serve -origin mnist.sdf                    # serve on :8080
 //	kondo-serve -origin mnist.sdf -addr 127.0.0.1:9090 -concurrency 64
+//	kondo-serve -origin mnist.sdf -debug-addr 127.0.0.1:6060
 //
 // Endpoints: /meta, /chunk, /slab (binary value frames), /element and
 // /datasets (internal/remote JSON compatibility), /metrics (request
-// counts, bytes served, latency histogram), /healthz. SIGINT/SIGTERM
-// drain in-flight requests, print the metrics summary, and exit.
+// counts, bytes served, latency histogram; ?format=prom for Prometheus
+// text exposition), /healthz, /buildz. With -debug-addr a second mux
+// exposes /debug/pprof/* and /debug/vars for runtime profiling.
+// SIGINT/SIGTERM drain in-flight requests, print the metrics summary,
+// and exit.
 package main
 
 import (
@@ -18,12 +22,16 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"expvar"
+
 	"repro/internal/dataserve"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,6 +42,11 @@ func main() {
 		readTO      = flag.Duration("read-timeout", 10*time.Second, "per-request read timeout")
 		writeTO     = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout")
 		grace       = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+
+		debugAddr = flag.String("debug-addr", "", "optional: listen address for the debug mux (/debug/pprof/*, /debug/vars); keep it loopback-only")
+		traceOut  = flag.String("trace-out", "", "optional: write a Chrome trace-event JSON of served requests at shutdown")
+		logLevel  = flag.String("log-level", "info", "diagnostic log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
 	if *origin == "" {
@@ -41,19 +54,60 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	log, err := obs.SetupCLILogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kondo-serve:", err)
+		os.Exit(2)
+	}
 
 	srv, err := dataserve.NewServer(*origin)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kondo-serve:", err)
+		log.Error("opening origin", "err", err)
 		os.Exit(1)
 	}
 	defer srv.Close()
 
+	bi := obs.Build()
+	log.Info("kondo-serve starting",
+		"origin", *origin, "addr", *addr,
+		"go_version", bi.GoVersion, "revision", bi.Revision, "modified", bi.Modified)
+
+	var tr *obs.Trace
+	handler := srv.Handler()
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			inner.ServeHTTP(w, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		})
+	}
+
 	httpSrv := &http.Server{
 		Addr:         *addr,
-		Handler:      dataserve.LimitConcurrency(srv.Handler(), *concurrency),
+		Handler:      dataserve.LimitConcurrency(handler, *concurrency),
 		ReadTimeout:  *readTO,
 		WriteTimeout: *writeTO,
+	}
+
+	// The debug mux is opt-in and separate from the data plane, so
+	// profiling endpoints are never reachable through the serving
+	// address.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			log.Info("debug mux listening", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Warn("debug mux failed", "err", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -61,23 +115,33 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("kondo-serve: serving %s on %s\n", *origin, *addr)
+		log.Info("serving", "origin", *origin, "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "kondo-serve:", err)
+			log.Error("serve failed", "err", err)
 			os.Exit(1)
 		}
 	case <-ctx.Done():
 		stop()
-		fmt.Println("\nkondo-serve: shutting down")
+		log.Info("shutting down", "grace", grace.String())
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {
-			fmt.Fprintln(os.Stderr, "kondo-serve: shutdown:", err)
+			log.Warn("shutdown incomplete", "err", err)
+		}
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Close()
+	}
+	if tr != nil {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			log.Warn("writing trace", "err", err)
+		} else {
+			log.Info("trace written", "path", *traceOut, "events", tr.Len())
 		}
 	}
 	fmt.Println(srv.Metrics().String())

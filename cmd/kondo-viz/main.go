@@ -7,14 +7,26 @@
 // (Fig. 1 / Table I), and for the cross-stencil base program the
 // exploit-explore vs boundary-based EE scatter (Fig. 4) and the
 // observed-points-plus-hulls view of the carver (Fig. 6-style).
+//
+// It also doubles as the trace validator for the observability layer:
+//
+//	kondo-viz -check-trace trace.json
+//
+// parses a Chrome trace-event JSON file (as written by kondo
+// -trace-out) and verifies it is well-formed: every event has a name
+// and a known phase, complete spans carry non-negative durations, and
+// instants carry no duration. On success it prints a per-category
+// summary and exits 0; malformed input exits 1.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/carve"
 	"repro/internal/fuzz"
@@ -24,16 +36,95 @@ import (
 
 func main() {
 	var (
-		out    = flag.String("out", "figures", "output directory")
-		size   = flag.Int("size", 128, "2D array extent")
-		budget = flag.Int("budget", 1500, "fuzz budget for the scatter/hull figures")
-		seed   = flag.Int64("seed", 1, "random seed")
+		out        = flag.String("out", "figures", "output directory")
+		size       = flag.Int("size", 128, "2D array extent")
+		budget     = flag.Int("budget", 1500, "fuzz budget for the scatter/hull figures")
+		seed       = flag.Int64("seed", 1, "random seed")
+		checkTrace = flag.String("check-trace", "", "validate a Chrome trace-event JSON file and exit (no figures are rendered)")
 	)
 	flag.Parse()
+	if *checkTrace != "" {
+		if err := checkTraceFile(os.Stdout, *checkTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "kondo-viz:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, *size, *budget, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "kondo-viz:", err)
 		os.Exit(1)
 	}
+}
+
+// traceEvent mirrors the subset of the Chrome trace-event format that
+// internal/obs emits: complete spans (ph "X") and instants (ph "i").
+type traceEvent struct {
+	Name string   `json:"name"`
+	Cat  string   `json:"cat"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	PID  int      `json:"pid"`
+	TID  int      `json:"tid"`
+}
+
+// checkTraceFile validates path as a trace-event JSON file and writes
+// a summary (event counts per span name, tid lanes seen) to w.
+func checkTraceFile(w *os.File, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []traceEvent   `json:"traceEvents"`
+		Metadata    map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: not a trace-event JSON object: %w", path, err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("%s: missing traceEvents array", path)
+	}
+	spans := map[string]int{}
+	tids := map[int]bool{}
+	instants := 0
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("%s: event %d has no name", path, i)
+		}
+		if e.Ts == nil {
+			return fmt.Errorf("%s: event %d (%s) has no timestamp", path, i, e.Name)
+		}
+		switch e.Ph {
+		case "X":
+			if e.Dur == nil || *e.Dur < 0 {
+				return fmt.Errorf("%s: span %d (%s) has missing or negative dur", path, i, e.Name)
+			}
+			spans[e.Name]++
+			tids[e.TID] = true
+		case "i":
+			if e.Dur != nil {
+				return fmt.Errorf("%s: instant %d (%s) must not carry a dur", path, i, e.Name)
+			}
+			instants++
+		default:
+			return fmt.Errorf("%s: event %d (%s) has unknown phase %q", path, i, e.Name, e.Ph)
+		}
+	}
+	names := make([]string, 0, len(spans))
+	for n := range spans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%s: %d events ok (%d span names, %d instants, %d lanes)\n",
+		path, len(doc.TraceEvents), len(names), instants, len(tids))
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-24s %d\n", n, spans[n])
+	}
+	if d, ok := doc.Metadata["dropped_events"]; ok {
+		fmt.Fprintf(w, "  (dropped_events: %v)\n", d)
+	}
+	return nil
 }
 
 func run(out string, size, budget int, seed int64) error {

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/obs"
 	"repro/internal/sdf"
 	"repro/internal/workload"
 	"repro/kondo"
@@ -46,8 +47,17 @@ func main() {
 		src       = flag.String("src", ".", "source directory for ADD entries (container mode)")
 		image     = flag.String("image", "", "directory to build the image into (container mode)")
 		debloated = flag.String("debloated", "", "directory to build the debloated image into (container mode)")
+
+		traceOut  = flag.String("trace-out", "", "optional: write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
+		logLevel  = flag.String("log-level", "warn", "diagnostic log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+
+	if _, err := obs.SetupCLILogger(*logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "kondo:", err)
+		os.Exit(2)
+	}
 
 	// Interrupts cancel the campaign instead of killing the process:
 	// the pipeline stops within one evaluation batch.
@@ -57,6 +67,12 @@ func main() {
 		var tcancel context.CancelFunc
 		ctx, tcancel = context.WithTimeout(ctx, *timeout)
 		defer tcancel()
+	}
+
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
 	}
 
 	var err error
@@ -69,6 +85,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: kondo -program <name> | kondo -spec <file>")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	// Write the trace even for failed runs — a stopped campaign's trace
+	// is exactly what diagnoses it.
+	if tr != nil {
+		if werr := tr.WriteFile(*traceOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "kondo: writing trace:", werr)
+			if err == nil {
+				err = werr
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "kondo: trace written to %s (%d events)\n", *traceOut, tr.Len())
+		}
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -112,6 +140,11 @@ func programMode(ctx context.Context, name, data, dataset, out string, budget in
 	fmt.Printf("quality:     precision %.3f, recall %.3f\n", pr.Precision, pr.Recall)
 
 	if data != "" && out != "" {
+		wspan := obs.Start(ctx, "kondo.write")
+		if wspan != nil {
+			wspan.Arg("granularity", gran).Arg("out", out)
+		}
+		defer wspan.End()
 		var stats kondo.DebloatStats
 		var chunk []int
 		switch gran {

@@ -10,12 +10,14 @@
 package carve
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/array"
 	"repro/internal/geom"
 	"repro/internal/hull"
+	"repro/internal/obs"
 )
 
 // CloseMode selects how the two distance tests compose in the CLOSE
@@ -85,22 +87,41 @@ func (c Config) close(a, b *hull.Hull) bool {
 // Carve runs Alg. 2 on the observed index points IS and returns the
 // merged hull set ℍ.
 func Carve(points *array.IndexSet, cfg Config) ([]*hull.Hull, error) {
+	return CarveContext(context.Background(), points, cfg)
+}
+
+// CarveContext is Carve with a context carrying optional
+// observability state: when an obs trace is attached, the SPLIT,
+// per-cell hull, and each fixpoint merge pass emit spans.
+func CarveContext(ctx context.Context, points *array.IndexSet, cfg Config) ([]*hull.Hull, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if points.Len() == 0 {
 		return nil, nil
 	}
+	sp := obs.Start(ctx, "carve.split")
 	cells := split(points, cfg.CellSize)
+	if sp != nil {
+		sp.Arg("points", points.Len()).Arg("cells", len(cells))
+	}
+	sp.End()
+
+	sp = obs.Start(ctx, "carve.cell-hulls")
 	hulls := make([]*hull.Hull, 0, len(cells))
 	for _, cellPts := range cells {
 		h, err := hull.New(cellPts)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		hulls = append(hulls, h)
 	}
-	return mergeAll(hulls, cfg)
+	if sp != nil {
+		sp.Arg("hulls", len(hulls))
+	}
+	sp.End()
+	return mergeAll(ctx, hulls, cfg)
 }
 
 // SimpleConvex is the paper's SC baseline: the fuzzer's points carved
@@ -141,10 +162,14 @@ func split(points *array.IndexSet, cellSize int) [][]geom.Point {
 // mergeAll iterates the CLOSE-merge loop of Alg. 2 to fixpoint. Each
 // merge strictly reduces the hull count, so the loop terminates after
 // at most len(hulls)-1 merges.
-func mergeAll(hulls []*hull.Hull, cfg Config) ([]*hull.Hull, error) {
+func mergeAll(ctx context.Context, hulls []*hull.Hull, cfg Config) ([]*hull.Hull, error) {
 	merged := true
-	for merged {
+	for pass := 1; merged; pass++ {
 		merged = false
+		sp := obs.Start(ctx, "carve.merge-pass")
+		if sp != nil {
+			sp.Arg("pass", pass).Arg("hulls", len(hulls))
+		}
 	scan:
 		for i := 0; i < len(hulls); i++ {
 			for j := i + 1; j < len(hulls); j++ {
@@ -153,6 +178,7 @@ func mergeAll(hulls []*hull.Hull, cfg Config) ([]*hull.Hull, error) {
 				}
 				m, err := hull.Merge(hulls[i], hulls[j])
 				if err != nil {
+					sp.End()
 					return nil, err
 				}
 				// Remove j first (higher index), then i.
@@ -162,6 +188,7 @@ func mergeAll(hulls []*hull.Hull, cfg Config) ([]*hull.Hull, error) {
 				break scan
 			}
 		}
+		sp.End()
 	}
 	return hulls, nil
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/array"
+	"repro/internal/obs"
 	"repro/internal/sdf"
 )
 
@@ -155,6 +156,21 @@ func (f *Fetcher) Stats() FetchStats {
 	}
 }
 
+// Register mirrors the fetcher's counters and cache state into a
+// metrics registry, read live at exposition time. Nil-safe.
+func (f *Fetcher) Register(reg *obs.Registry) {
+	reg.SetHelp("kondo_fetch_elements_total", "Recovered element values served to callers.")
+	reg.CounterFunc("kondo_fetch_elements_total", f.elements.Load)
+	reg.CounterFunc("kondo_fetch_round_trips_total", f.roundTrips.Load)
+	reg.CounterFunc("kondo_fetch_retries_total", f.retries.Load)
+	reg.CounterFunc("kondo_fetch_cache_hits_total", f.cacheHits.Load)
+	reg.CounterFunc("kondo_fetch_cache_misses_total", f.cacheMisses.Load)
+	reg.CounterFunc("kondo_fetch_flight_shared_total", f.flShare.Load)
+	reg.SetHelp("kondo_fetch_cache_entries", "Chunks currently resident in the client cache.")
+	reg.GaugeFunc("kondo_fetch_cache_entries", func() float64 { return float64(f.cache.len()) })
+	reg.GaugeFunc("kondo_fetch_cache_bytes", func() float64 { return float64(f.cache.bytes()) })
+}
+
 // Fetch implements debloat.Fetcher.
 func (f *Fetcher) Fetch(dataset string, ix array.Index) (float64, error) {
 	return f.FetchContext(context.Background(), dataset, ix)
@@ -175,7 +191,12 @@ func (f *Fetcher) FetchContext(ctx context.Context, dataset string, ix array.Ind
 	if err != nil {
 		return 0, fmt.Errorf("dataserve: fetch %v of %q: %w", ix, dataset, err)
 	}
-	vals, err := f.chunk(ctx, dataset, g, cc)
+	sp := obs.Start(ctx, "dataserve.fetch")
+	vals, hit, err := f.chunk(ctx, dataset, g, cc)
+	if sp != nil {
+		sp.Arg("dataset", dataset).Arg("cache", cacheVerdict(hit))
+	}
+	sp.End()
 	if err != nil {
 		return 0, err
 	}
@@ -264,17 +285,25 @@ func (f *Fetcher) geom(ctx context.Context, dataset string) (*dsGeom, error) {
 	return g, nil
 }
 
+func cacheVerdict(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
 // chunk returns the values of one serving chunk, from cache when
-// possible, collapsing concurrent misses onto one request.
-func (f *Fetcher) chunk(ctx context.Context, dataset string, g *dsGeom, cc array.Index) ([]float64, error) {
+// possible (hit reports a cache hit), collapsing concurrent misses
+// onto one request.
+func (f *Fetcher) chunk(ctx context.Context, dataset string, g *dsGeom, cc array.Index) (_ []float64, hit bool, _ error) {
 	lin, err := g.grid.ChunkLinear(cc)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	key := dataset + "\x00" + strconv.FormatInt(lin, 10)
 	if vals, ok := f.cache.get(key); ok {
 		f.cacheHits.Add(1)
-		return vals, nil
+		return vals, true, nil
 	}
 	f.cacheMisses.Add(1)
 	vals, err, shared := f.flight.do(key, func() ([]float64, error) {
@@ -303,7 +332,7 @@ func (f *Fetcher) chunk(ctx context.Context, dataset string, g *dsGeom, cc array
 	if shared {
 		f.flShare.Add(1)
 	}
-	return vals, err
+	return vals, false, err
 }
 
 // jsonRequest performs a retried GET expecting a JSON body.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sdf"
 )
 
@@ -59,13 +60,25 @@ type Server struct {
 }
 
 // NewServer opens the origin file and precomputes serving geometry
-// for every dataset.
+// for every dataset, recording metrics with the default latency
+// buckets.
 func NewServer(originPath string) (*Server, error) {
+	return NewServerWithRecorder(originPath, nil)
+}
+
+// NewServerWithRecorder is NewServer with an explicit metrics
+// recorder (e.g. one with custom latency buckets); nil gets a fresh
+// default recorder.
+func NewServerWithRecorder(originPath string, rec *metrics.ServeRecorder) (*Server, error) {
 	f, err := sdf.Open(originPath)
 	if err != nil {
 		return nil, fmt.Errorf("dataserve: opening origin: %w", err)
 	}
-	s := &Server{file: f, sets: make(map[string]*serving), rec: metrics.NewServeRecorder()}
+	if rec == nil {
+		rec = metrics.NewServeRecorder()
+	}
+	obs.RegisterBuildInfo(rec.Registry())
+	s := &Server{file: f, sets: make(map[string]*serving), rec: rec}
 	for _, name := range f.Names() {
 		ds, err := f.Dataset(name)
 		if err != nil {
@@ -142,6 +155,11 @@ func (s *Server) Close() error {
 // Metrics returns a snapshot of the server's request metrics.
 func (s *Server) Metrics() metrics.ServeStats { return s.rec.Snapshot() }
 
+// Registry exposes the server's instrument registry so a daemon can
+// register adjacent metrics into the same /metrics?format=prom
+// exposition.
+func (s *Server) Registry() *obs.Registry { return s.rec.Registry() }
+
 // Handler returns the HTTP handler exposing the wire protocol.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -153,6 +171,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/buildz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, obs.Build())
 	})
 	return mux
 }
@@ -177,12 +198,18 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 }
 
 // instrument wraps a handler with latency/byte/error recording under
-// the given endpoint name.
+// the given endpoint name, and emits one serve.<endpoint> span per
+// request when the request context carries a trace.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
+		sp := obs.Start(r.Context(), "serve."+endpoint)
 		h(cw, r)
+		if sp != nil {
+			sp.Arg("status", cw.status).Arg("bytes", cw.bytes)
+		}
+		sp.End()
 		s.rec.Record(endpoint, cw.status, cw.bytes, time.Since(start))
 	})
 }
@@ -248,6 +275,12 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = s.rec.Registry().WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.rec.Snapshot())
 }
 

@@ -10,9 +10,12 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/debloat"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sdf"
 )
 
@@ -365,5 +368,106 @@ func TestMetricsAndHealthz(t *testing.T) {
 	}
 	if remote.Requests < 4 {
 		t.Errorf("/metrics requests = %d, want >= 4", remote.Requests)
+	}
+}
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	space := array.MustSpace(16, 16)
+	_, ts := startServer(t, space, []int{4, 4})
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/chunk?dataset=data&chunk=0,0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain exposition", ct)
+	}
+	body := new(bytes.Buffer)
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := body.String()
+	for _, want := range []string{
+		"# TYPE kondo_serve_requests_total counter",
+		`kondo_serve_requests_total{endpoint="chunk"} 2`,
+		"# TYPE kondo_serve_request_seconds histogram",
+		"kondo_build_info{",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// JSON default stays backward compatible alongside the new format.
+	jresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var js struct {
+		Requests int64 `json:"requests"`
+	}
+	if err := json.NewDecoder(jresp.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
+	if js.Requests < 2 {
+		t.Errorf("/metrics JSON requests = %d, want >= 2", js.Requests)
+	}
+}
+
+func TestServerRequestSpans(t *testing.T) {
+	space := array.MustSpace(16, 16)
+	srv, _ := startServer(t, space, []int{4, 4})
+
+	tr := obs.NewTrace()
+	req := httptest.NewRequest(http.MethodGet, "/chunk?dataset=data&chunk=0,0", nil)
+	req = req.WithContext(obs.WithTrace(req.Context(), tr))
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("chunk request failed: %d", rr.Code)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("trace has %d events, want 1 serve span", tr.Len())
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"serve.chunk"`) {
+		t.Errorf("trace lacks serve.chunk span:\n%s", sb.String())
+	}
+}
+
+func TestServerCustomRecorderBuckets(t *testing.T) {
+	space := array.MustSpace(8, 8)
+	rec := metrics.NewServeRecorderWithBuckets([]time.Duration{time.Millisecond, time.Second})
+	srv, err := NewServerWithRecorder(writeOriginFile(t, space, nil), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/meta?dataset=data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	e := srv.Metrics().Endpoint("meta")
+	if len(e.Latency) != 3 {
+		t.Errorf("latency has %d buckets, want 3 (2 bounds + overflow)", len(e.Latency))
+	}
+	if srv.Registry() != rec.Registry() {
+		t.Error("server registry is not the recorder's registry")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/array"
+	"repro/internal/obs"
 	"repro/internal/sdf"
 )
 
@@ -130,6 +131,11 @@ type Runtime struct {
 
 	misses    atomic.Int64
 	recovered atomic.Int64
+
+	// Registry instruments resolved once at construction; nil (a no-op)
+	// when the context carries no registry.
+	mMisses    *obs.Counter
+	mRecovered *obs.Counter
 }
 
 // NewRuntime returns a runtime over one dataset of an opened debloated
@@ -145,7 +151,12 @@ func NewRuntimeContext(ctx context.Context, ds *sdf.Dataset, fetcher Fetcher) *R
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Runtime{ds: ds, fetcher: fetcher, name: ds.Name(), ctx: ctx}
+	reg := obs.RegistryOf(ctx)
+	return &Runtime{
+		ds: ds, fetcher: fetcher, name: ds.Name(), ctx: ctx,
+		mMisses:    reg.Counter("kondo_runtime_misses_total"),
+		mRecovered: reg.Counter("kondo_runtime_recovered_total"),
+	}
 }
 
 // Space implements workload.Accessor.
@@ -168,18 +179,26 @@ func (rt *Runtime) ReadElement(ix array.Index) (float64, error) {
 		return 0, err
 	}
 	rt.misses.Add(1)
+	rt.mMisses.Inc()
 	if rt.fetcher == nil {
 		return 0, fmt.Errorf("debloat: %w at %v of %q", ErrDataMissing, ix, rt.name)
+	}
+	// Only the miss path is traced: hits must stay at raw read cost.
+	sp := obs.Start(rt.ctx, "debloat.recover")
+	if sp != nil {
+		sp.Arg("dataset", rt.name)
 	}
 	if cf, ok := rt.fetcher.(ContextFetcher); ok {
 		v, err = cf.FetchContext(rt.ctx, rt.name, ix)
 	} else {
 		v, err = rt.fetcher.Fetch(rt.name, ix)
 	}
+	sp.End()
 	if err != nil {
 		return 0, err
 	}
 	rt.recovered.Add(1)
+	rt.mRecovered.Inc()
 	return v, nil
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -173,6 +174,16 @@ func (f *Fuzzer) Run(ctx context.Context) (*Result, error) {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
+	// Instruments resolve once per campaign; with no registry or trace
+	// in the context every use below is a nil-receiver no-op.
+	reg := obs.RegistryOf(ctx)
+	mEvals := reg.Counter("kondo_fuzz_evals_total")
+	mFailed := reg.Counter("kondo_fuzz_failed_evals_total")
+	mDedup := reg.Counter("kondo_fuzz_dedup_skips_total")
+	mBatches := reg.Counter("kondo_fuzz_batches_total")
+	gIndices := reg.Gauge("kondo_fuzz_indices")
+	gQueue := reg.Gauge("kondo_fuzz_queue_depth")
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	start := time.Now()
 	var deadline time.Time
@@ -181,6 +192,16 @@ func (f *Fuzzer) Run(ctx context.Context) (*Result, error) {
 	}
 
 	res := &Result{Indices: array.NewIndexSet(f.space), Workers: workers}
+	runSpan := obs.Start(ctx, "fuzz.run")
+	if runSpan != nil {
+		runSpan.Arg("workers", workers).Arg("batch_size", batchSize)
+	}
+	defer func() {
+		if runSpan != nil {
+			runSpan.Arg("evals", res.Evaluations).Arg("stop", string(res.StopReason))
+		}
+		runSpan.End()
+	}()
 	clUseful := newClusterSet(cfg.Diameter)
 	clNonUseful := newClusterSet(cfg.Diameter)
 	evaluated := make(map[string]bool)
@@ -261,6 +282,7 @@ loop:
 				// Already-seen valuations cost no debloat test; they
 				// must not count toward the no-new-offset stop.
 				res.DedupSkips++
+				mDedup.Inc()
 				continue
 			}
 			evaluated[key] = true
@@ -272,7 +294,13 @@ loop:
 		}
 
 		res.Batches++
+		mBatches.Inc()
+		roundSpan := obs.Start(ctx, "fuzz.round")
+		if roundSpan != nil {
+			roundSpan.Arg("batch", res.Batches).Arg("seeds", len(batch))
+		}
 		outs := f.evalBatch(ctx, workers, batch)
+		roundSpan.End()
 
 		// Merge in seed order. Only this sequential phase touches the
 		// RNG, the clusters, and the accumulated state, so the outcome
@@ -292,8 +320,10 @@ loop:
 					Err: out.err,
 				})
 				idleIters++
+				mFailed.Inc()
 			} else {
 				res.Evaluations++
+				mEvals.Inc()
 				useful := !out.iv.Empty()
 
 				before := res.Indices.Len()
@@ -323,6 +353,8 @@ loop:
 				if len(queue) > res.MaxQueueDepth {
 					res.MaxQueueDepth = len(queue)
 				}
+				gIndices.Set(float64(res.Indices.Len()))
+				gQueue.Set(float64(len(queue)))
 			}
 
 			if cfg.DecayIter > 0 && itr%cfg.DecayIter == 0 {
@@ -374,8 +406,16 @@ func (f *Fuzzer) evalBatch(ctx context.Context, workers int, batch [][]float64) 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Each pool worker gets its own trace lane (tid 0 is the
+			// scheduler, 1 the merge loop) so Perfetto renders the
+			// batch's parallelism as stacked rows.
+			sp := obs.Start(ctx, "fuzz.worker")
+			if sp != nil {
+				sp.SetTID(w+2).Arg("worker", w)
+			}
+			defer sp.End()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(batch) {
@@ -383,7 +423,7 @@ func (f *Fuzzer) evalBatch(ctx context.Context, workers int, batch [][]float64) 
 				}
 				runOne(i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return outs

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // Event log: a compact, append-only binary record of audited system
@@ -140,7 +142,17 @@ func ReadLog(r io.Reader, fn func(Event) error) error {
 
 // Replay loads every event of a log into the store.
 func Replay(r io.Reader, s *Store) error {
-	return ReadLog(r, s.Record)
+	n := 0
+	err := ReadLog(r, func(e Event) error {
+		n++
+		return s.Record(e)
+	})
+	if err != nil {
+		obs.Log().Warn("ioevent: replay aborted", "events", n, "err", err)
+		return err
+	}
+	obs.Log().Debug("ioevent: replayed event log", "events", n)
+	return nil
 }
 
 func firstErr(errs ...error) error {

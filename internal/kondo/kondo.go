@@ -15,6 +15,7 @@ import (
 	"repro/internal/carve"
 	"repro/internal/fuzz"
 	"repro/internal/hull"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -75,7 +76,12 @@ func debloat(ctx context.Context, f *fuzz.Fuzzer, space array.Space, cfg Config)
 		ctx = context.Background()
 	}
 	fuzzStart := time.Now()
+	fuzzSpan := obs.Start(ctx, "kondo.fuzz")
 	fres, err := f.Run(ctx)
+	if fuzzSpan != nil && fres != nil {
+		fuzzSpan.Arg("evals", fres.Evaluations).Arg("indices", fres.Indices.Len())
+	}
+	fuzzSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("kondo: fuzzing: %w", err)
 	}
@@ -87,11 +93,21 @@ func debloat(ctx context.Context, f *fuzz.Fuzzer, space array.Space, cfg Config)
 	}
 
 	carveStart := time.Now()
-	hulls, err := carve.Carve(fres.Indices, cfg.Carve)
+	carveSpan := obs.Start(ctx, "kondo.carve")
+	hulls, err := carve.CarveContext(ctx, fres.Indices, cfg.Carve)
+	if carveSpan != nil {
+		carveSpan.Arg("hulls", len(hulls))
+	}
+	carveSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("kondo: carving: %w", err)
 	}
+	rastSpan := obs.Start(ctx, "kondo.rasterize")
 	approx, err := carve.Rasterize(hulls, space)
+	if rastSpan != nil && approx != nil {
+		rastSpan.Arg("indices", approx.Len())
+	}
+	rastSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("kondo: rasterizing: %w", err)
 	}

@@ -1,0 +1,65 @@
+package kondo
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestDebloatEmitsPipelineSpans runs the full pipeline with a trace
+// attached and checks that every phase span (fuzz, carve, rasterize,
+// plus the carve-internal passes) lands in the export with a non-zero
+// duration.
+func TestDebloatEmitsPipelineSpans(t *testing.T) {
+	p := workload.MustCS(2, 64)
+	cfg := DefaultConfig()
+	cfg.Fuzz.Seed = 5
+	cfg.Fuzz.MaxIter = 400
+
+	tr := obs.NewTrace()
+	ctx := obs.WithTrace(context.Background(), tr)
+	res, err := Debloat(ctx, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approx.Empty() {
+		t.Fatal("pipeline produced no approximation")
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Cat  string   `json:"cat"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	durs := map[string]float64{}
+	for _, e := range out.TraceEvents {
+		if e.Dur != nil && *e.Dur > durs[e.Name] {
+			durs[e.Name] = *e.Dur
+		}
+	}
+	for _, name := range []string{"kondo.fuzz", "kondo.carve", "kondo.rasterize", "fuzz.run", "carve.split", "carve.merge-pass"} {
+		if durs[name] <= 0 {
+			t.Errorf("no %s span with positive duration (got %v)", name, durs[name])
+		}
+	}
+	// Categories come from the prefix before the first dot, so the
+	// viewer can filter whole subsystems.
+	for _, e := range out.TraceEvents {
+		if e.Name == "kondo.carve" && e.Cat != "kondo" {
+			t.Errorf("kondo.carve category = %q", e.Cat)
+		}
+	}
+}

@@ -2,15 +2,19 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// serveBuckets are the latency histogram bucket upper bounds of the
-// recovery data plane, spanning in-memory cache-adjacent handling
-// (tens of microseconds) to a slow origin disk or network (seconds).
+// serveBuckets are the default latency histogram bucket upper bounds
+// of the recovery data plane, spanning in-memory cache-adjacent
+// handling (tens of microseconds) to a slow origin disk or network
+// (seconds).
 var serveBuckets = []time.Duration{
 	50 * time.Microsecond,
 	100 * time.Microsecond,
@@ -25,8 +29,8 @@ var serveBuckets = []time.Duration{
 	time.Second,
 }
 
-// ServeBucketBounds returns the histogram bucket upper bounds used by
-// ServeRecorder (the last implicit bucket is +Inf).
+// ServeBucketBounds returns the default histogram bucket upper bounds
+// used by NewServeRecorder (the last implicit bucket is +Inf).
 func ServeBucketBounds() []time.Duration {
 	return append([]time.Duration(nil), serveBuckets...)
 }
@@ -39,8 +43,9 @@ type EndpointStats struct {
 	Requests int64  `json:"requests"`
 	Errors   int64  `json:"errors"` // responses with status >= 400
 	Bytes    int64  `json:"bytes"`  // payload bytes written
-	// Latency[i] counts requests completed within serveBuckets[i];
-	// the final entry counts everything slower than the last bound.
+	// Latency[i] counts requests completed within the recorder's i-th
+	// bucket bound; the final entry counts everything slower than the
+	// last bound.
 	Latency []int64 `json:"latency_buckets"`
 	// TotalLatencyNS accumulates summed request latency, for mean
 	// latency without histogram interpolation.
@@ -87,50 +92,139 @@ func (s ServeStats) String() string {
 	return b.String()
 }
 
-// ServeRecorder collects per-endpoint request metrics for the recovery
-// data plane. It is safe for concurrent use by HTTP handlers.
-type ServeRecorder struct {
-	mu  sync.Mutex
-	per map[string]*EndpointStats
+// epInstruments caches one endpoint's registered instruments so the
+// request hot path is four atomic updates, not four registry lookups.
+type epInstruments struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	bytes    *obs.Counter
+	latency  *obs.Histogram
 }
 
-// NewServeRecorder returns an empty recorder.
+// ServeRecorder collects per-endpoint request metrics for the recovery
+// data plane. It is safe for concurrent use by HTTP handlers.
+//
+// The instruments live in an obs.Registry, so the same counters back
+// the legacy JSON snapshot and Prometheus text exposition.
+type ServeRecorder struct {
+	reg    *obs.Registry
+	bounds []time.Duration // histogram upper bounds, ascending
+	secs   []float64       // bounds in seconds, same order
+
+	mu  sync.Mutex
+	per map[string]*epInstruments
+}
+
+// NewServeRecorder returns an empty recorder with the default latency
+// buckets.
 func NewServeRecorder() *ServeRecorder {
-	return &ServeRecorder{per: make(map[string]*EndpointStats)}
+	return NewServeRecorderWithBuckets(nil)
+}
+
+// NewServeRecorderWithBuckets returns an empty recorder whose latency
+// histogram uses the given ascending upper bounds (an implicit +Inf
+// bucket is always appended). A nil or empty slice selects the default
+// ServeBucketBounds. Unsorted bounds are sorted; duplicates removed.
+func NewServeRecorderWithBuckets(bounds []time.Duration) *ServeRecorder {
+	if len(bounds) == 0 {
+		bounds = serveBuckets
+	}
+	bs := append([]time.Duration(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	dedup := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	bs = dedup
+	secs := make([]float64, len(bs))
+	for i, b := range bs {
+		secs[i] = b.Seconds()
+	}
+	reg := obs.NewRegistry()
+	reg.SetHelp("kondo_serve_requests_total", "Requests served, by endpoint.")
+	reg.SetHelp("kondo_serve_errors_total", "Responses with status >= 400, by endpoint.")
+	reg.SetHelp("kondo_serve_response_bytes_total", "Payload bytes written, by endpoint.")
+	reg.SetHelp("kondo_serve_request_seconds", "Request latency, by endpoint.")
+	return &ServeRecorder{
+		reg:    reg,
+		bounds: bs,
+		secs:   secs,
+		per:    make(map[string]*epInstruments),
+	}
+}
+
+// Registry exposes the recorder's instrument registry, so callers can
+// register adjacent gauges (cache sizes, build info) and serve the
+// whole set as one Prometheus exposition.
+func (r *ServeRecorder) Registry() *obs.Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// BucketBounds returns this recorder's latency bucket upper bounds.
+func (r *ServeRecorder) BucketBounds() []time.Duration {
+	return append([]time.Duration(nil), r.bounds...)
+}
+
+func (r *ServeRecorder) endpoint(name string) *epInstruments {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.per[name]
+	if !ok {
+		l := obs.L("endpoint", name)
+		e = &epInstruments{
+			requests: r.reg.Counter("kondo_serve_requests_total", l),
+			errors:   r.reg.Counter("kondo_serve_errors_total", l),
+			bytes:    r.reg.Counter("kondo_serve_response_bytes_total", l),
+			latency:  r.reg.Histogram("kondo_serve_request_seconds", r.secs, l),
+		}
+		r.per[name] = e
+	}
+	return e
 }
 
 // Record notes one completed request: its endpoint, HTTP status,
 // payload bytes written, and wall-clock latency.
 func (r *ServeRecorder) Record(endpoint string, status int, bytes int64, elapsed time.Duration) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.per[endpoint]
-	if !ok {
-		e = &EndpointStats{Endpoint: endpoint, Latency: make([]int64, len(serveBuckets)+1)}
-		r.per[endpoint] = e
-	}
-	e.Requests++
+	e := r.endpoint(endpoint)
+	e.requests.Inc()
 	if status >= 400 {
-		e.Errors++
+		e.errors.Inc()
 	}
-	e.Bytes += bytes
-	e.TotalLatencyNS += elapsed.Nanoseconds()
-	i := sort.Search(len(serveBuckets), func(i int) bool { return elapsed <= serveBuckets[i] })
-	e.Latency[i]++
+	e.bytes.Add(bytes)
+	e.latency.Observe(elapsed.Seconds())
 }
 
-// Snapshot returns a copy of the accumulated stats.
+// Snapshot returns a copy of the accumulated stats, reconstructed from
+// the registered instruments. Bucket counts are non-cumulative, one
+// per bound plus a final overflow entry, matching the /metrics JSON
+// contract.
 func (r *ServeRecorder) Snapshot() ServeStats {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	eps := make(map[string]*epInstruments, len(r.per))
+	for name, e := range r.per {
+		eps[name] = e
+	}
+	r.mu.Unlock()
+
 	var s ServeStats
-	for _, e := range r.per {
-		cp := *e
-		cp.Latency = append([]int64(nil), e.Latency...)
-		s.Endpoints = append(s.Endpoints, cp)
-		s.Requests += e.Requests
-		s.Errors += e.Errors
-		s.Bytes += e.Bytes
+	for name, e := range eps {
+		st := EndpointStats{
+			Endpoint:       name,
+			Requests:       e.requests.Value(),
+			Errors:         e.errors.Value(),
+			Bytes:          e.bytes.Value(),
+			Latency:        e.latency.BucketCounts(),
+			TotalLatencyNS: int64(math.Round(e.latency.Sum() * 1e9)),
+		}
+		s.Endpoints = append(s.Endpoints, st)
+		s.Requests += st.Requests
+		s.Errors += st.Errors
+		s.Bytes += st.Bytes
 	}
 	sort.Slice(s.Endpoints, func(i, j int) bool { return s.Endpoints[i].Endpoint < s.Endpoints[j].Endpoint })
 	return s

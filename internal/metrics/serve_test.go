@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -82,5 +83,70 @@ func TestServeRecorderConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := r.Snapshot().Requests; got != 800 {
 		t.Errorf("requests = %d, want 800", got)
+	}
+}
+
+func TestServeRecorderCustomBuckets(t *testing.T) {
+	// Unsorted with a duplicate: recorder sorts and dedups.
+	r := NewServeRecorderWithBuckets([]time.Duration{
+		time.Second, time.Millisecond, time.Second,
+	})
+	got := r.BucketBounds()
+	want := []time.Duration{time.Millisecond, time.Second}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	r.Record("chunk", 200, 10, 500*time.Microsecond) // <= 1ms
+	r.Record("chunk", 200, 10, 100*time.Millisecond) // <= 1s
+	r.Record("chunk", 200, 10, 5*time.Second)        // overflow
+	e := r.Snapshot().Endpoint("chunk")
+	if len(e.Latency) != 3 {
+		t.Fatalf("latency has %d buckets, want 3 (2 bounds + overflow)", len(e.Latency))
+	}
+	for i, want := range []int64{1, 1, 1} {
+		if e.Latency[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, e.Latency[i], want)
+		}
+	}
+	if e.MeanLatency() <= 0 {
+		t.Error("mean latency not accumulated")
+	}
+}
+
+func TestServeRecorderDefaultBucketsUnchanged(t *testing.T) {
+	// The zero-arg constructor must keep the documented default bounds
+	// so existing /metrics consumers see identical bucket layout.
+	r := NewServeRecorder()
+	def := ServeBucketBounds()
+	got := r.BucketBounds()
+	if len(got) != len(def) {
+		t.Fatalf("default recorder has %d bounds, want %d", len(got), len(def))
+	}
+	for i := range def {
+		if got[i] != def[i] {
+			t.Errorf("bound %d = %v, want %v", i, got[i], def[i])
+		}
+	}
+}
+
+func TestServeRecorderPrometheus(t *testing.T) {
+	r := NewServeRecorder()
+	r.Record("chunk", 200, 128, 80*time.Microsecond)
+	r.Record("chunk", 500, 0, 300*time.Microsecond)
+	var sb strings.Builder
+	if err := r.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`kondo_serve_requests_total{endpoint="chunk"} 2`,
+		`kondo_serve_errors_total{endpoint="chunk"} 1`,
+		`kondo_serve_response_bytes_total{endpoint="chunk"} 128`,
+		"# TYPE kondo_serve_request_seconds histogram",
+		`kondo_serve_request_seconds_count{endpoint="chunk"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
 	}
 }

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestDefaultLoggerDiscards(t *testing.T) {
+	// The default must be installed and must drop everything without
+	// erroring — library code logs through it unconditionally.
+	l := Log()
+	if l == nil {
+		t.Fatal("no default logger")
+	}
+	l.Debug("dropped", "k", 1)
+	l.Error("also dropped")
+	if l.Enabled(nil, slog.LevelError) {
+		t.Error("default logger claims to be enabled")
+	}
+}
+
+func TestSetLoggerAndRestore(t *testing.T) {
+	var sb strings.Builder
+	l, err := NewLogger(&sb, "info", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetLogger(l)
+	defer SetLogger(nil) // restore the discarding default
+	Log().Info("hello", "n", 7)
+	Log().Debug("filtered")
+	out := sb.String()
+	if !strings.Contains(out, "hello") || !strings.Contains(out, "n=7") {
+		t.Errorf("text log = %q", out)
+	}
+	if strings.Contains(out, "filtered") {
+		t.Error("debug line passed an info-level logger")
+	}
+
+	SetLogger(nil)
+	if Log().Enabled(nil, slog.LevelError) {
+		t.Error("SetLogger(nil) did not restore the discard default")
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var sb strings.Builder
+	l, err := NewLogger(&sb, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("structured", "elems", 3)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &rec); err != nil {
+		t.Fatalf("JSON log line does not parse: %v (%q)", err, sb.String())
+	}
+	if rec["msg"] != "structured" || rec["elems"] != float64(3) {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestNewLoggerErrors(t *testing.T) {
+	if _, err := NewLogger(&strings.Builder{}, "loud", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&strings.Builder{}, "info", "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+	if _, err := ParseLevel("warning"); err != nil {
+		t.Error("warning alias rejected")
+	}
+}

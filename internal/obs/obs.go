@@ -1,0 +1,106 @@
+// Package obs is Kondo's unified observability layer: lightweight
+// span tracing, a concurrent metrics registry with Prometheus text
+// exposition, and a structured logger — all stdlib-only.
+//
+// The three pieces share one design rule: when nothing is attached,
+// nothing costs. A Trace and a Registry travel through
+// context.Context; library code calls obs.Start / Registry handles
+// unconditionally, and when the context carries no collector the
+// calls degrade to nil-receiver no-ops with zero allocations. The
+// logger defaults to a discard handler, so library packages may log
+// diagnostics freely without ever writing to stderr unconditionally —
+// a CLI that wants the output installs a real logger with SetLogger.
+//
+// Spans export as Chrome trace_event JSON (open in chrome://tracing
+// or https://ui.perfetto.dev); metrics export in the Prometheus text
+// format. See DESIGN.md §8 for the span model and metric naming
+// conventions.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// defaultLogger is the process-wide logger returned by Log. It starts
+// as a discard logger so library code never emits output unless a CLI
+// (or test) opts in via SetLogger.
+var defaultLogger atomic.Pointer[slog.Logger]
+
+func init() {
+	defaultLogger.Store(slog.New(discardHandler{}))
+}
+
+// Log returns the process-wide structured logger. The default
+// discards everything; CLIs install a real one with SetLogger.
+func Log() *slog.Logger { return defaultLogger.Load() }
+
+// SetLogger installs the process-wide logger. A nil logger restores
+// the discarding default.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(discardHandler{})
+	}
+	defaultLogger.Store(l)
+}
+
+// ParseLevel parses a -log-level flag value.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", s)
+}
+
+// NewLogger builds an slog logger writing to w at the given level
+// ("debug", "info", "warn", "error") in the given format ("text" or
+// "json") — the backing of the CLIs' -log-level / -log-format flags.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text, json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// SetupCLILogger parses the -log-level/-log-format flag pair, installs
+// the resulting stderr logger process-wide, and returns it.
+func SetupCLILogger(level, format string) (*slog.Logger, error) {
+	l, err := NewLogger(os.Stderr, level, format)
+	if err != nil {
+		return nil, err
+	}
+	SetLogger(l)
+	return l, nil
+}
+
+// discardHandler drops every record. (slog.DiscardHandler exists only
+// from Go 1.24; this keeps the module buildable at its declared
+// go 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

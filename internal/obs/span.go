@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// traceKey carries a *Trace through a context.
+type traceKey struct{}
+
+// WithTrace returns a context carrying tr; obs.Start calls under it
+// record into tr. A nil tr returns ctx unchanged.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// TraceOf returns the trace carried by ctx, or nil.
+func TraceOf(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// DefaultTraceLimit bounds a trace's event count so a long-running
+// daemon or a large -bench run cannot grow one without bound; events
+// past the limit are counted but dropped.
+const DefaultTraceLimit = 1 << 20
+
+// Trace collects completed spans and instant events from any number
+// of goroutines. It is safe for concurrent use.
+type Trace struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	events  []event
+	limit   int
+	dropped int64
+}
+
+// event is one recorded trace entry (a completed span or an instant).
+type event struct {
+	name  string
+	ph    byte // 'X' complete span, 'i' instant
+	start time.Time
+	dur   time.Duration
+	tid   int64
+	args  []Arg
+}
+
+// Arg is one key/value annotation on a span or instant event.
+type Arg struct {
+	Key   string
+	Value any
+}
+
+// A builds an Arg; it reads well at call sites:
+// obs.Start(ctx, "fuzz.round", obs.A("seeds", n)).
+func A(key string, value any) Arg { return Arg{Key: key, Value: value} }
+
+// NewTrace returns an empty trace whose timestamps are relative to
+// now, capped at DefaultTraceLimit events.
+func NewTrace() *Trace {
+	return &Trace{epoch: time.Now(), limit: DefaultTraceLimit}
+}
+
+// SetLimit changes the maximum retained event count (n <= 0 means
+// unlimited). Events arriving past the limit are dropped and counted.
+func (t *Trace) SetLimit(n int) {
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded over the limit.
+func (t *Trace) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+func (t *Trace) add(e event) {
+	t.mu.Lock()
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Span is one in-flight timed operation. A nil Span (returned by
+// Start when the context carries no trace) is valid: every method is
+// a no-op, so call sites never branch on whether tracing is enabled.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+	tid   int64
+	args  []Arg
+}
+
+// Start begins a span named name if ctx carries a Trace, returning
+// nil otherwise. The disabled path performs no allocations when
+// called without args. By convention names are dot-separated with the
+// subsystem first: "fuzz.round", "carve.merge-pass", "serve.chunk".
+func Start(ctx context.Context, name string, args ...Arg) *Span {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	if tr == nil {
+		return nil
+	}
+	return &Span{tr: tr, name: name, start: time.Now(), args: args}
+}
+
+// Enabled reports whether the span actually records (false on the
+// nil no-op span) — use it to guard argument construction that would
+// itself allocate.
+func (s *Span) Enabled() bool { return s != nil }
+
+// Arg appends one annotation. Nil-safe; returns s for chaining.
+func (s *Span) Arg(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.args = append(s.args, Arg{Key: key, Value: value})
+	return s
+}
+
+// SetTID assigns the span to a display lane (Chrome renders one row
+// per tid) — worker pools pass the worker index so their batches
+// stack side by side. Nil-safe; returns s for chaining.
+func (s *Span) SetTID(tid int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tid = int64(tid)
+	return s
+}
+
+// End completes the span and records it. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.add(event{
+		name:  s.name,
+		ph:    'X',
+		start: s.start,
+		dur:   time.Since(s.start),
+		tid:   s.tid,
+		args:  s.args,
+	})
+}
+
+// Instant records a zero-duration marker event if ctx carries a
+// trace.
+func Instant(ctx context.Context, name string, args ...Arg) {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	if tr == nil {
+		return
+	}
+	tr.add(event{name: name, ph: 'i', start: time.Now(), args: args})
+}
+
+// chromeEvent is the trace_event JSON shape understood by
+// chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds since trace start
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the exported top-level object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+// WriteJSON exports the trace as Chrome trace_event JSON. Events are
+// sorted by start time; timestamps are microseconds relative to the
+// trace's creation.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := append([]event(nil), t.events...)
+	epoch := t.epoch
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].start.Before(events[j].start) })
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(events)),
+		DisplayTimeUnit: "ms",
+	}
+	if dropped > 0 {
+		out.Metadata = map[string]any{"dropped_events": dropped}
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.name,
+			Cat:  category(e.name),
+			Ph:   string(e.ph),
+			TS:   float64(e.start.Sub(epoch)) / float64(time.Microsecond),
+			PID:  1,
+			TID:  e.tid,
+		}
+		if e.ph == 'X' {
+			dur := float64(e.dur) / float64(time.Microsecond)
+			ce.Dur = &dur
+		}
+		if e.ph == 'i' {
+			ce.S = "t" // thread-scoped instant
+		}
+		if len(e.args) > 0 {
+			ce.Args = make(map[string]any, len(e.args))
+			for _, a := range e.args {
+				ce.Args[a.Key] = a.Value
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFile exports the trace to a file (see WriteJSON).
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// category derives the Chrome "cat" field from a span name's leading
+// dot-separated segment ("fuzz.round" → "fuzz").
+func category(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i]
+		}
+	}
+	return name
+}

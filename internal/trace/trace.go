@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ioevent"
+	"repro/internal/obs"
 )
 
 // Tracer audits file I/O into an event store. Each Tracer models one
@@ -82,6 +83,7 @@ func (t *Tracer) Open(pid int, path string) (*File, error) {
 		f.Close()
 		return nil, err
 	}
+	obs.Log().Debug("trace: opened audited file", "pid", pid, "file", id.File)
 	return &File{f: f, tracer: t, id: id}, nil
 }
 
@@ -133,6 +135,7 @@ func (tf *File) Close() error {
 	if err := tf.tracer.record(ioevent.Event{ID: tf.id, Op: ioevent.OpClose}); err != nil {
 		return err
 	}
+	obs.Log().Debug("trace: closed audited file", "pid", tf.id.PID, "file", tf.id.File)
 	return tf.f.Close()
 }
 

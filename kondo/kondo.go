@@ -38,6 +38,7 @@ import (
 	"repro/internal/ioevent"
 	"repro/internal/kondo"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/remote"
 	"repro/internal/sdf"
@@ -95,6 +96,36 @@ func DefaultConfig() Config { return kondo.DefaultConfig() }
 // when every attempted test failed.
 func Debloat(ctx context.Context, p Program, cfg Config) (*Result, error) {
 	return kondo.Debloat(ctx, p, cfg)
+}
+
+// Trace is an in-memory collector of pipeline spans, exportable as
+// Chrome trace-event JSON (chrome://tracing, Perfetto). Attach one to
+// a context with WithTrace and pass that context to Debloat or a
+// Runtime: the fuzz rounds, carve passes, and recovery fetches emit
+// spans with zero overhead when no trace is attached.
+type Trace = obs.Trace
+
+// NewTrace returns an empty trace collector.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// WithTrace returns a context carrying tr; instrumented pipeline
+// stages emit spans into it.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return obs.WithTrace(ctx, tr)
+}
+
+// MetricsRegistry is a concurrent registry of named counters, gauges,
+// and histograms with Prometheus text exposition (WritePrometheus).
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WithMetrics returns a context carrying reg; instrumented pipeline
+// stages (fuzz counters, runtime miss/recovery counters) update live
+// instruments in it.
+func WithMetrics(ctx context.Context, reg *MetricsRegistry) context.Context {
+	return obs.WithRegistry(ctx, reg)
 }
 
 // Programs returns the 11-program benchmark suite of the paper's
