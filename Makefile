@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench-quick lint-prints trace-demo
+.PHONY: build test race vet verify bench-quick bench-json lint-prints lint-metrics-docs trace-demo
 
 build:
 	$(GO) build ./...
@@ -34,13 +34,34 @@ lint-prints:
 	fi
 	@echo "lint-prints: OK"
 
-# verify is the full tier-1 check: build, vet, the print lint, plain
-# tests, and the race-detector pass over the concurrent paths.
-verify: build vet lint-prints test race
+# lint-metrics-docs checks that every kondo_* instrument registered in
+# code appears (backtick-quoted) in the README's metrics reference
+# table, so the docs cannot silently drift from the telemetry surface.
+lint-metrics-docs:
+	@missing=$$(grep -rho '"kondo_[a-z_]*"' internal cmd --include='*.go' --exclude='*_test.go' | \
+		tr -d '"' | sort -u | \
+		while read m; do grep -q "\`$$m\`" README.md || echo "$$m"; done); \
+	if [ -n "$$missing" ]; then \
+		echo "lint-metrics-docs: metrics missing from README.md reference table:"; \
+		echo "$$missing"; \
+		exit 1; \
+	fi
+	@echo "lint-metrics-docs: OK"
+
+# verify is the full tier-1 check: build, vet, the print lint, the
+# metrics-docs lint, plain tests, and the race-detector pass over the
+# concurrent paths.
+verify: build vet lint-prints lint-metrics-docs test race
 	@echo "verify: OK"
 
 bench-quick:
 	$(GO) run ./cmd/kondo-bench -exp all -quick
+
+# bench-json regenerates the machine-readable perf trajectory point
+# (BENCH_perf.json in the repo root): evals/s, hull count, waste
+# ratio, bytes kept, recovery round-trips for one end-to-end pipeline.
+bench-json:
+	$(GO) run ./cmd/kondo-bench -exp perf -quick -json .
 
 # trace-demo runs a small debloat campaign with tracing on and
 # validates the emitted Chrome trace-event JSON with the kondo-viz

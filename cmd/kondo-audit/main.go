@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/ioevent"
+	"repro/internal/obs"
 	"repro/internal/prov"
 	"repro/internal/sdf"
 	"repro/internal/trace"
@@ -30,14 +32,42 @@ func main() {
 		logPath = flag.String("log", "", "optional: write the event log to this path")
 		replay  = flag.String("replay", "", "replay an event log instead of running (still needs -data for offset resolution)")
 		dotPath = flag.String("dot", "", "optional: write the run's provenance graph (Graphviz DOT) to this path")
+
+		traceOut  = flag.String("trace-out", "", "optional: write a Chrome trace-event JSON of the audited run")
+		logLevel  = flag.String("log-level", "warn", "diagnostic log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+
+	if _, err := obs.SetupCLILogger(*logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "kondo-audit:", err)
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	writeTrace := func() {
+		if tr == nil {
+			return
+		}
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "kondo-audit: writing trace:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "kondo-audit: trace written to %s (%d events)\n", *traceOut, tr.Len())
+		}
+	}
+
 	if *replay != "" {
 		if *data == "" {
 			fmt.Fprintln(os.Stderr, "usage: kondo-audit -replay <log> -data <file>")
 			os.Exit(2)
 		}
-		if err := runReplay(*replay, *data, *dataset, *ranges); err != nil {
+		err := runReplay(ctx, *replay, *data, *dataset, *ranges)
+		writeTrace()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "kondo-audit:", err)
 			os.Exit(1)
 		}
@@ -47,7 +77,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: kondo-audit -data <file> -program <name> -params v1,v2[,v3]")
 		os.Exit(2)
 	}
-	if err := run(*data, *dataset, *program, *params, *ranges, *logPath, *dotPath); err != nil {
+	err := run(ctx, *data, *dataset, *program, *params, *ranges, *logPath, *dotPath)
+	writeTrace()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "kondo-audit:", err)
 		os.Exit(1)
 	}
@@ -56,7 +88,9 @@ func main() {
 // runReplay loads a recorded event log and resolves its ranges against
 // the data file's metadata — the decoupled analysis path the paper's
 // "data store" of system-call arguments enables.
-func runReplay(logPath, data, dataset string, printRanges bool) error {
+func runReplay(ctx context.Context, logPath, data, dataset string, printRanges bool) error {
+	sp := obs.Start(ctx, "audit.replay").Arg("log", logPath)
+	defer sp.End()
 	lf, err := os.Open(logPath)
 	if err != nil {
 		return err
@@ -97,7 +131,7 @@ func runReplay(logPath, data, dataset string, printRanges bool) error {
 	return nil
 }
 
-func run(data, dataset, program, paramArg string, printRanges bool, logPath, dotPath string) error {
+func run(ctx context.Context, data, dataset, program, paramArg string, printRanges bool, logPath, dotPath string) error {
 	v, err := parseParams(paramArg)
 	if err != nil {
 		return err
@@ -148,14 +182,19 @@ func run(data, dataset, program, paramArg string, printRanges bool, logPath, dot
 		return err
 	}
 	env := &workload.Env{Acc: workload.NewFileAccessor(ads)}
+	sp := obs.Start(ctx, "audit.run").Arg("program", p.Name())
 	if err := p.Run(v, env); err != nil {
+		sp.End()
 		af.Close()
 		return err
 	}
+	sp.End()
 
 	fileName := filepath.Base(data)
+	rsp := obs.Start(ctx, "audit.resolve")
 	merged := store.FileRanges(fileName)
 	indices, err := trace.AccessedIndices(store, fileName, ads)
+	rsp.End()
 	if err != nil {
 		af.Close()
 		return err

@@ -5,6 +5,7 @@
 //	kondo-bench -exp all             # every experiment
 //	kondo-bench -exp fig8 -quick     # reduced sizes/repetitions
 //	kondo-bench -list                # available experiment ids
+//	kondo-bench -exp perf -json .    # machine-readable BENCH_perf.json
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		workers = flag.Int("workers", 0, "fuzz worker-pool size per campaign (0 = one per CPU)")
 		timeout = flag.Duration("timeout", 0, "overall deadline across all experiments (0 = none)")
 		csvDir  = flag.String("csv", "", "also write each report as <dir>/<exp>.csv")
+		jsonDir = flag.String("json", "", "also write each report as <dir>/BENCH_<exp>.json (table + metrics map)")
 
 		traceOut  = flag.String("trace-out", "", "optional: write a Chrome trace-event JSON of the experiments")
 		logLevel  = flag.String("log-level", "warn", "diagnostic log level: debug, info, warn, error")
@@ -120,6 +122,23 @@ func main() {
 				fmt.Fprintln(os.Stderr, "kondo-bench:", err)
 				os.Exit(1)
 			}
+		}
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "kondo-bench:", err)
+				os.Exit(1)
+			}
+			doc, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "kondo-bench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+id+".json")
+			if err := os.WriteFile(path, append(doc, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "kondo-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "kondo-bench: wrote %s\n", path)
 		}
 	}
 }

@@ -13,20 +13,32 @@
 //	kondo-viz -check-trace trace.json
 //
 // parses a Chrome trace-event JSON file (as written by kondo
-// -trace-out) and verifies it is well-formed: every event has a name
-// and a known phase, complete spans carry non-negative durations, and
-// instants carry no duration. On success it prints a per-category
-// summary and exits 0; malformed input exits 1.
+// -trace-out; gzip-compressed .json.gz accepted) and verifies it is
+// well-formed: every event has a name and a known phase, complete
+// spans carry non-negative durations, and instants carry no duration.
+// On success it prints a per-category summary and exits 0; malformed
+// input exits 1.
+//
+// And as the convergence-plot renderer for campaign telemetry:
+//
+//	kondo-viz -coverage coverage.json [-coverage-svg out.svg]
+//
+// reads a coverage time series (as written by kondo -coverage-out)
+// and renders the convergence plot — an ASCII chart on stdout, or an
+// SVG when -coverage-svg names a destination.
 package main
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/carve"
 	"repro/internal/fuzz"
@@ -36,11 +48,13 @@ import (
 
 func main() {
 	var (
-		out        = flag.String("out", "figures", "output directory")
-		size       = flag.Int("size", 128, "2D array extent")
-		budget     = flag.Int("budget", 1500, "fuzz budget for the scatter/hull figures")
-		seed       = flag.Int64("seed", 1, "random seed")
-		checkTrace = flag.String("check-trace", "", "validate a Chrome trace-event JSON file and exit (no figures are rendered)")
+		out         = flag.String("out", "figures", "output directory")
+		size        = flag.Int("size", 128, "2D array extent")
+		budget      = flag.Int("budget", 1500, "fuzz budget for the scatter/hull figures")
+		seed        = flag.Int64("seed", 1, "random seed")
+		checkTrace  = flag.String("check-trace", "", "validate a Chrome trace-event JSON (or .json.gz) file and exit (no figures are rendered)")
+		coverage    = flag.String("coverage", "", "render a coverage time series (kondo -coverage-out) as a convergence plot and exit")
+		coverageSVG = flag.String("coverage-svg", "", "with -coverage: write an SVG plot here instead of the ASCII chart")
 	)
 	flag.Parse()
 	if *checkTrace != "" {
@@ -50,10 +64,37 @@ func main() {
 		}
 		return
 	}
+	if *coverage != "" {
+		if err := coverageMode(os.Stdout, *coverage, *coverageSVG); err != nil {
+			fmt.Fprintln(os.Stderr, "kondo-viz:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, *size, *budget, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "kondo-viz:", err)
 		os.Exit(1)
 	}
+}
+
+// coverageMode renders the convergence plot of a recorded coverage
+// series: ASCII to w, or SVG to svgPath when given.
+func coverageMode(w *os.File, seriesPath, svgPath string) error {
+	s, err := fuzz.LoadCoverageSeries(seriesPath)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("campaign coverage (%s)", filepath.Base(seriesPath))
+	if svgPath != "" {
+		if err := writeSVG(svgPath, func(f *os.File) error {
+			return viz.CoverageSVG(f, s, title)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote convergence plot to %s (%d points)\n", svgPath, len(s.Points))
+		return nil
+	}
+	return viz.CoverageASCII(w, s, 72, 18)
 }
 
 // traceEvent mirrors the subset of the Chrome trace-event format that
@@ -69,9 +110,11 @@ type traceEvent struct {
 }
 
 // checkTraceFile validates path as a trace-event JSON file and writes
-// a summary (event counts per span name, tid lanes seen) to w.
+// a summary (event counts per span name, tid lanes seen) to w. A
+// .gz-suffixed file (long campaigns produce large exports worth
+// compressing) is transparently decompressed.
 func checkTraceFile(w *os.File, path string) error {
-	raw, err := os.ReadFile(path)
+	raw, err := readMaybeGzip(path)
 	if err != nil {
 		return err
 	}
@@ -199,6 +242,25 @@ func run(out string, size, budget int, seed int64) error {
 	}
 	fmt.Printf("wrote figures to %s\n", out)
 	return nil
+}
+
+// readMaybeGzip reads a file, decompressing it when the name ends in
+// .gz.
+func readMaybeGzip(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: not a gzip file: %w", path, err)
+		}
+		defer zr.Close()
+		return io.ReadAll(zr)
+	}
+	return io.ReadAll(f)
 }
 
 func writeSVG(path string, render func(*os.File) error) error {

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/array"
+	"repro/internal/prov"
+	"repro/internal/sdf"
+)
+
+// explainMode implements `kondo explain`: attribute one position of a
+// debloated file to the hull and debloat test that caused its
+// inclusion, using the inclusion-provenance index written by
+// `kondo -prov`.
+//
+//	kondo explain -prov index.json [-dataset data] [-json] <file> <offset|i,j,k>
+//
+// The query is either a comma-separated array index (resolved against
+// the index's dims) or an absolute byte offset into <file> (resolved
+// through the file's layout metadata). With an index-form query the
+// file may be "-" (only the provenance index is consulted).
+func explainMode(stdout, stderr io.Writer, args []string) error {
+	fs := flag.NewFlagSet("kondo explain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	provPath := fs.String("prov", "", "inclusion-provenance index JSON written by kondo -prov (required)")
+	dsName := fs.String("dataset", "data", "dataset name within the file (offset queries)")
+	jsonOut := fs.Bool("json", false, "emit the attribution as JSON instead of prose")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: kondo explain -prov index.json [-dataset data] [-json] <file> <offset|i,j,k>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *provPath == "" {
+		fs.Usage()
+		return fmt.Errorf("explain: -prov is required")
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		fs.Usage()
+		return fmt.Errorf("explain: want <file> and <offset|i,j,k>, got %d args", len(rest))
+	}
+	file, query := rest[0], rest[1]
+
+	idx, err := prov.Load(*provPath)
+	if err != nil {
+		return err
+	}
+
+	var ix array.Index
+	if strings.Contains(query, ",") {
+		ix, err = parseIndexQuery(query)
+		if err != nil {
+			return err
+		}
+	} else {
+		off, perr := strconv.ParseInt(query, 10, 64)
+		if perr != nil {
+			return fmt.Errorf("explain: query %q is neither a byte offset nor an i,j,k index", query)
+		}
+		ix, err = resolveFileOffset(file, *dsName, off)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "kondo explain: offset %d of %s resolves to index %v\n", off, file, ix)
+	}
+
+	att, err := idx.Explain(ix)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(att)
+	}
+	fmt.Fprintf(stdout, "index:     %v (lin %d)\n", att.Index, att.Lin)
+	if att.Hull >= 0 {
+		fmt.Fprintf(stdout, "hull:      #%d (%d vertices)\n", att.Hull, att.HullVertices)
+	} else {
+		fmt.Fprintf(stdout, "hull:      none (outside every carved hull)\n")
+	}
+	if att.Seed >= 0 {
+		how := "first observed by"
+		if !att.Witnessed {
+			how = fmt.Sprintf("nearest observed access (lin %d) from", att.NearestLin)
+		}
+		fmt.Fprintf(stdout, "test:      %s debloat test #%d\n", how, att.Seed)
+		fmt.Fprintf(stdout, "valuation: %v (useful=%v)\n", att.SeedValue, att.Useful)
+	} else {
+		fmt.Fprintf(stdout, "test:      unknown (index carries no witness map)\n")
+	}
+	fmt.Fprintf(stdout, "because:   %s\n", att.Note)
+	return nil
+}
+
+// parseIndexQuery parses "i,j,k" into an array index.
+func parseIndexQuery(q string) (array.Index, error) {
+	parts := strings.Split(q, ",")
+	ix := make(array.Index, len(parts))
+	for k, s := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("explain: bad index component %q", s)
+		}
+		ix[k] = v
+	}
+	return ix, nil
+}
+
+// resolveFileOffset maps an absolute byte offset of the debloated file
+// to the array index stored there.
+func resolveFileOffset(path, dataset string, off int64) (array.Index, error) {
+	f, err := sdf.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := f.Dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := ds.ResolveOffset(off)
+	if err != nil {
+		return nil, fmt.Errorf("explain: offset %d: %w", off, err)
+	}
+	return ix, nil
+}

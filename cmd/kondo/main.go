@@ -10,6 +10,10 @@
 //	    Parse a container specification, build the image, debloat its
 //	    data file for the advertised PARAM space, and rebuild the
 //	    image with the carved file. Prints the size reduction.
+//
+//	kondo explain -prov index.json <file> <offset|i,j,k>
+//	    Attribute one kept position of a debloated file to the hull
+//	    and seed valuation that caused its inclusion (see -prov).
 package main
 
 import (
@@ -17,6 +21,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -24,12 +30,21 @@ import (
 	"syscall"
 
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/sdf"
+	"repro/internal/status"
 	"repro/internal/workload"
 	"repro/kondo"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		if err := explainMode(os.Stdout, os.Stderr, os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "kondo:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		program  = flag.String("program", "", "benchmark program name (CS1..CS5, PRL2D/3D, LDC2D/3D, RDC2D/3D, ARD, MSI)")
 		budget   = flag.Int("budget", 2000, "debloat-test budget (number of audited executions)")
@@ -48,9 +63,12 @@ func main() {
 		image     = flag.String("image", "", "directory to build the image into (container mode)")
 		debloated = flag.String("debloated", "", "directory to build the debloated image into (container mode)")
 
-		traceOut  = flag.String("trace-out", "", "optional: write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
-		logLevel  = flag.String("log-level", "warn", "diagnostic log level: debug, info, warn, error")
-		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
+		traceOut    = flag.String("trace-out", "", "optional: write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
+		logLevel    = flag.String("log-level", "warn", "diagnostic log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
+		statusAddr  = flag.String("status-addr", "", "optional: serve live campaign status on this address (/statusz JSON, /statusz/stream SSE, /metrics) while the run executes")
+		coverageOut = flag.String("coverage-out", "", "optional: write the campaign's coverage time series JSON (render with kondo-viz -coverage)")
+		provOut     = flag.String("prov", "", "optional: write the inclusion-provenance index JSON (query with kondo explain)")
 	)
 	flag.Parse()
 
@@ -74,13 +92,19 @@ func main() {
 		tr = obs.NewTrace()
 		ctx = obs.WithTrace(ctx, tr)
 	}
+	if *statusAddr != "" {
+		// The status endpoint's /metrics view needs a registry in the
+		// context for the pipeline to publish into.
+		ctx = obs.WithRegistry(ctx, obs.NewRegistry())
+	}
 
 	var err error
 	switch {
 	case *spec != "":
 		err = containerMode(ctx, *spec, *src, *image, *debloated, *dataset, *budget, *seed, *workers, *chunkArg)
 	case *program != "":
-		err = programMode(ctx, *program, *data, *dataset, *out, *budget, *seed, *workers, *chunkArg, *gran, *manifest)
+		tel := telemetryOpts{statusAddr: *statusAddr, coverageOut: *coverageOut, provOut: *provOut}
+		err = programMode(ctx, *program, *data, *dataset, *out, *budget, *seed, *workers, *chunkArg, *gran, *manifest, tel)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: kondo -program <name> | kondo -spec <file>")
 		flag.PrintDefaults()
@@ -108,7 +132,14 @@ func main() {
 	}
 }
 
-func programMode(ctx context.Context, name, data, dataset, out string, budget int, seed int64, workers int, chunkArg, gran, manifestPath string) error {
+// telemetryOpts are the campaign-introspection outputs of one run.
+type telemetryOpts struct {
+	statusAddr  string // live /statusz + SSE endpoint while running
+	coverageOut string // coverage time-series JSON artifact
+	provOut     string // inclusion-provenance index JSON artifact
+}
+
+func programMode(ctx context.Context, name, data, dataset, out string, budget int, seed int64, workers int, chunkArg, gran, manifestPath string, tel telemetryOpts) error {
 	p, err := resolveProgram(name, data, dataset)
 	if err != nil {
 		return err
@@ -117,7 +148,40 @@ func programMode(ctx context.Context, name, data, dataset, out string, budget in
 	cfg.Fuzz.Seed = seed
 	cfg.Fuzz.MaxEvals = budget
 	cfg.Fuzz.Workers = workers
+	cfg.Fuzz.Witnesses = tel.provOut != ""
+
+	var st *status.Server
+	if tel.statusAddr != "" {
+		ln, lerr := net.Listen("tcp", tel.statusAddr)
+		if lerr != nil {
+			return fmt.Errorf("status endpoint: %w", lerr)
+		}
+		st = status.NewServer(status.Campaign{
+			Program: p.Name(),
+			Dataset: dataset,
+			Workers: workers,
+		}, p.Space().Dims(), p.Space().Size(), obs.RegistryOf(ctx))
+		cfg.Fuzz.OnCoverage = st.Publish
+		srv := &http.Server{Handler: st.Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "kondo: status endpoint on http://%s/statusz\n", ln.Addr())
+	}
+
 	res, err := kondo.Debloat(ctx, p, cfg)
+	if st != nil {
+		st.Finish()
+	}
+	if res != nil && res.Fuzz != nil && tel.coverageOut != "" {
+		// Written even for stopped campaigns: a partial trajectory is
+		// exactly what diagnoses them.
+		if werr := res.Fuzz.Coverage.WriteFile(tel.coverageOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "kondo: writing coverage series:", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "kondo: coverage series written to %s (%d points)\n",
+				tel.coverageOut, len(res.Fuzz.Coverage.Points))
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -127,6 +191,10 @@ func programMode(ctx context.Context, name, data, dataset, out string, budget in
 		res.Fuzz.Evaluations, res.Fuzz.Useful, res.Fuzz.NonUseful)
 	fmt.Printf("campaign:    %s\n", kondo.CampaignOf(res))
 	fmt.Printf("hulls:       %d\n", len(res.Hulls))
+	fmt.Printf("carve:       %d cells -> %d hulls (%d merges in %d passes, shrinkage %.2f), waste ratio %.2f, saturation %.2f\n",
+		res.CarveStats.Cells, res.CarveStats.FinalHulls, res.CarveStats.Merges,
+		res.CarveStats.MergePasses, res.CarveStats.Shrinkage(),
+		res.WasteRatio(), res.Fuzz.Coverage.Saturation())
 	fmt.Printf("subset:      %d of %d indices (%.2f%% bloat identified)\n",
 		res.Approx.Len(), p.Space().Size(),
 		100*kondo.BloatFraction(p.Space(), res.Approx))
@@ -177,6 +245,21 @@ func programMode(ctx context.Context, name, data, dataset, out string, budget in
 			}
 			fmt.Printf("manifest:    %s (%d hulls)\n", manifestPath, len(m.Hulls))
 		}
+	}
+	if tel.provOut != "" {
+		var chunk []int
+		if gran == "chunk" {
+			if c, cerr := parseChunk(chunkArg, p.Space().Rank()); cerr == nil {
+				chunk = c
+			}
+		}
+		idx := prov.New(p.Name(), dataset, p.Space(), gran, chunk,
+			res.Hulls, res.Fuzz.Seeds, res.Fuzz.Witnesses)
+		if err := idx.Save(tel.provOut); err != nil {
+			return err
+		}
+		fmt.Printf("provenance:  %s (%d witnessed indices, %d tests)\n",
+			tel.provOut, len(idx.WitnessLins), len(idx.Seeds))
 	}
 	return nil
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -14,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/array"
+	"repro/internal/obs"
 	"repro/internal/sdf"
 )
 
@@ -25,19 +27,41 @@ func main() {
 		chunk   = flag.String("chunk", "", "chunk extents (empty = contiguous), e.g. 16x16")
 		dataset = flag.String("dataset", "data", "dataset name")
 		fill    = flag.String("fill", "linear", "fill pattern: linear, zero, sine")
+
+		traceOut  = flag.String("trace-out", "", "optional: write a Chrome trace-event JSON of the generation")
+		logLevel  = flag.String("log-level", "warn", "diagnostic log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	if _, err := obs.SetupCLILogger(*logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "sdfgen:", err)
+		os.Exit(2)
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "usage: sdfgen -out <path> [-dims 128x128] [-dtype longdouble] [-chunk 16x16]")
 		os.Exit(2)
 	}
-	if err := run(*out, *dims, *dtype, *chunk, *dataset, *fill); err != nil {
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	err := run(ctx, *out, *dims, *dtype, *chunk, *dataset, *fill)
+	if tr != nil {
+		if werr := tr.WriteFile(*traceOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "sdfgen: writing trace:", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "sdfgen: trace written to %s (%d events)\n", *traceOut, tr.Len())
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdfgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, dimsArg, dtypeArg, chunkArg, dataset, fill string) error {
+func run(ctx context.Context, out, dimsArg, dtypeArg, chunkArg, dataset, fill string) error {
 	extents, err := parseDims(dimsArg)
 	if err != nil {
 		return err
@@ -62,17 +86,22 @@ func run(out, dimsArg, dtypeArg, chunkArg, dataset, fill string) error {
 		return err
 	}
 
+	sp := obs.Start(ctx, "sdfgen.write").Arg("out", out).Arg("dims", dimsArg)
 	w := sdf.NewWriter(out)
 	dw, err := w.CreateDataset(dataset, space, dt, chunkDims)
 	if err != nil {
+		sp.End()
 		return err
 	}
 	if err := dw.Fill(fillFn); err != nil {
+		sp.End()
 		return err
 	}
 	if err := w.Close(); err != nil {
+		sp.End()
 		return err
 	}
+	sp.End()
 	info, err := os.Stat(out)
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestFillFuncs(t *testing.T) {
 
 func TestRunGeneratesReadableFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "gen.sdf")
-	if err := run(path, "8x8", "float64", "4x4", "data", "linear"); err != nil {
+	if err := run(context.Background(), path, "8x8", "float64", "4x4", "data", "linear"); err != nil {
 		t.Fatal(err)
 	}
 	f, err := sdf.Open(path)
@@ -57,10 +58,10 @@ func TestRunGeneratesReadableFile(t *testing.T) {
 		t.Errorf("generated value = %v, %v", v, err)
 	}
 	// Bad inputs error out.
-	if err := run(path, "0x8", "float64", "", "data", "linear"); err == nil {
+	if err := run(context.Background(), path, "0x8", "float64", "", "data", "linear"); err == nil {
 		t.Error("bad dims should error")
 	}
-	if err := run(path, "8x8", "quux", "", "data", "linear"); err == nil {
+	if err := run(context.Background(), path, "8x8", "quux", "", "data", "linear"); err == nil {
 		t.Error("bad dtype should error")
 	}
 }

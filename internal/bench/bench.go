@@ -7,6 +7,7 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"runtime"
@@ -30,6 +31,11 @@ type Report struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Metrics holds the report's headline numbers keyed by metric
+	// name, for machine consumption (`kondo-bench -json` writes them
+	// as BENCH_<id>.json). Experiments that only produce tables may
+	// leave it nil.
+	Metrics map[string]float64
 }
 
 // String renders the report as an aligned text table.
@@ -71,6 +77,21 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// JSON renders the report as a machine-readable document: the table
+// verbatim plus the Metrics map, so downstream tooling can track the
+// perf trajectory without parsing aligned text.
+func (r *Report) JSON() ([]byte, error) {
+	doc := struct {
+		ID      string             `json:"id"`
+		Title   string             `json:"title"`
+		Columns []string           `json:"columns"`
+		Rows    [][]string         `json:"rows"`
+		Notes   []string           `json:"notes,omitempty"`
+		Metrics map[string]float64 `json:"metrics,omitempty"`
+	}{r.ID, r.Title, r.Columns, r.Rows, r.Notes, r.Metrics}
+	return json.MarshalIndent(doc, "", "  ")
 }
 
 // CSV renders the report as RFC-4180 CSV (header row + data rows),
@@ -172,6 +193,7 @@ var registry = map[string]struct {
 	"audit":    {"I/O event audit overhead (§V-D6)", Audit},
 	"curve":    {"Recall vs number of debloat tests (Kondo vs BF vs AFL)", Curve},
 	"hybrid":   {"Hybrid schedule: Kondo + AFL havoc phase (§VI extension)", Hybrid},
+	"perf":     {"End-to-end pipeline performance (machine-readable trajectory)", Perf},
 }
 
 // Experiments returns the available experiment ids, sorted.

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestPerfMetricsContract pins the machine-readable surface of the
+// perf experiment: every metric the trajectory tracks is present,
+// sane, and survives the JSON rendering kondo-bench writes.
+func TestPerfMetricsContract(t *testing.T) {
+	rep, err := Run(context.Background(), "perf", QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"evals_per_sec", "hulls", "waste_ratio", "bytes_kept", "recovery_round_trips",
+		"evaluations", "kept_indices", "original_bytes", "reduction", "saturation",
+	} {
+		v, ok := rep.Metrics[key]
+		if !ok {
+			t.Errorf("metric %q missing", key)
+			continue
+		}
+		if v < 0 {
+			t.Errorf("metric %q negative: %v", key, v)
+		}
+	}
+	if rep.Metrics["hulls"] < 1 {
+		t.Errorf("no hulls carved: %v", rep.Metrics["hulls"])
+	}
+	if rep.Metrics["waste_ratio"] < 1 {
+		t.Errorf("waste ratio %v < 1: hulls cannot keep fewer indices than observed", rep.Metrics["waste_ratio"])
+	}
+	if rep.Metrics["bytes_kept"] <= 0 || rep.Metrics["bytes_kept"] > rep.Metrics["original_bytes"] {
+		t.Errorf("bytes kept %v outside (0, %v]", rep.Metrics["bytes_kept"], rep.Metrics["original_bytes"])
+	}
+	if rep.Metrics["recovery_round_trips"] <= 0 {
+		t.Errorf("recovery exercised no round-trips: %v", rep.Metrics["recovery_round_trips"])
+	}
+
+	doc, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID      string             `json:"id"`
+		Columns []string           `json:"columns"`
+		Rows    [][]string         `json:"rows"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(doc, &got); err != nil {
+		t.Fatalf("Report.JSON not valid JSON: %v", err)
+	}
+	if got.ID != "perf" || len(got.Rows) == 0 {
+		t.Fatalf("JSON document incomplete: id=%q rows=%d", got.ID, len(got.Rows))
+	}
+	if got.Metrics["hulls"] != rep.Metrics["hulls"] {
+		t.Errorf("metrics map did not round-trip: %v != %v", got.Metrics["hulls"], rep.Metrics["hulls"])
+	}
+}

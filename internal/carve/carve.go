@@ -84,6 +84,37 @@ func (c Config) close(a, b *hull.Hull) bool {
 	return boundary || center
 }
 
+// Stats are the hull-quality measurements of one carve invocation.
+// The waste ratio (hull volume vs. observed indices) needs the
+// rasterized set and is computed one level up, in internal/kondo.
+type Stats struct {
+	// Points is |IS|, the observed-index count carving started from.
+	Points int
+	// Cells is the number of occupied SPLIT grid cells.
+	Cells int
+	// InitialHulls is the per-cell hull count before merging
+	// (= Cells today, but kept separate in case empty-hull cells are
+	// ever dropped).
+	InitialHulls int
+	// FinalHulls is |ℍ| after the CLOSE-merge fixpoint.
+	FinalHulls int
+	// MergePasses is the number of fixpoint passes (including the
+	// final pass that found nothing to merge).
+	MergePasses int
+	// Merges is the total number of pairwise hull merges performed.
+	Merges int
+}
+
+// Shrinkage is the fraction of initial hulls eliminated by merging —
+// 0 when nothing merged, approaching 1 when almost everything
+// collapsed into a few hulls.
+func (s Stats) Shrinkage() float64 {
+	if s.InitialHulls == 0 {
+		return 0
+	}
+	return float64(s.InitialHulls-s.FinalHulls) / float64(s.InitialHulls)
+}
+
 // Carve runs Alg. 2 on the observed index points IS and returns the
 // merged hull set ℍ.
 func Carve(points *array.IndexSet, cfg Config) ([]*hull.Hull, error) {
@@ -94,14 +125,25 @@ func Carve(points *array.IndexSet, cfg Config) ([]*hull.Hull, error) {
 // observability state: when an obs trace is attached, the SPLIT,
 // per-cell hull, and each fixpoint merge pass emit spans.
 func CarveContext(ctx context.Context, points *array.IndexSet, cfg Config) ([]*hull.Hull, error) {
+	hulls, _, err := CarveStats(ctx, points, cfg)
+	return hulls, err
+}
+
+// CarveStats is CarveContext returning the invocation's hull-quality
+// Stats alongside the hull set. When the context carries a metrics
+// registry the stats are also published as kondo_carve_* instruments.
+func CarveStats(ctx context.Context, points *array.IndexSet, cfg Config) ([]*hull.Hull, Stats, error) {
+	var st Stats
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	if points.Len() == 0 {
-		return nil, nil
+		return nil, st, nil
 	}
+	st.Points = points.Len()
 	sp := obs.Start(ctx, "carve.split")
 	cells := split(points, cfg.CellSize)
+	st.Cells = len(cells)
 	if sp != nil {
 		sp.Arg("points", points.Len()).Arg("cells", len(cells))
 	}
@@ -113,15 +155,37 @@ func CarveContext(ctx context.Context, points *array.IndexSet, cfg Config) ([]*h
 		h, err := hull.New(cellPts)
 		if err != nil {
 			sp.End()
-			return nil, err
+			return nil, st, err
 		}
 		hulls = append(hulls, h)
 	}
+	st.InitialHulls = len(hulls)
 	if sp != nil {
 		sp.Arg("hulls", len(hulls))
 	}
 	sp.End()
-	return mergeAll(ctx, hulls, cfg)
+
+	hulls, passes, merges, err := mergeAll(ctx, hulls, cfg)
+	if err != nil {
+		return nil, st, err
+	}
+	st.MergePasses = passes
+	st.Merges = merges
+	st.FinalHulls = len(hulls)
+	publishStats(ctx, st)
+	return hulls, st, nil
+}
+
+// publishStats records one carve invocation's hull-quality stats in
+// the context's metrics registry (a no-op without one).
+func publishStats(ctx context.Context, st Stats) {
+	reg := obs.RegistryOf(ctx)
+	reg.Gauge("kondo_carve_points").Set(float64(st.Points))
+	reg.Gauge("kondo_carve_cells").Set(float64(st.Cells))
+	reg.Gauge("kondo_carve_hulls").Set(float64(st.FinalHulls))
+	reg.Gauge("kondo_carve_merge_passes").Set(float64(st.MergePasses))
+	reg.Gauge("kondo_carve_shrinkage").Set(st.Shrinkage())
+	reg.Counter("kondo_carve_merges_total").Add(int64(st.Merges))
 }
 
 // SimpleConvex is the paper's SC baseline: the fuzzer's points carved
@@ -159,13 +223,16 @@ func split(points *array.IndexSet, cellSize int) [][]geom.Point {
 	return out
 }
 
-// mergeAll iterates the CLOSE-merge loop of Alg. 2 to fixpoint. Each
-// merge strictly reduces the hull count, so the loop terminates after
-// at most len(hulls)-1 merges.
-func mergeAll(ctx context.Context, hulls []*hull.Hull, cfg Config) ([]*hull.Hull, error) {
+// mergeAll iterates the CLOSE-merge loop of Alg. 2 to fixpoint,
+// returning the hull set plus the pass and merge counts. Each merge
+// strictly reduces the hull count, so the loop terminates after at
+// most len(hulls)-1 merges.
+func mergeAll(ctx context.Context, hulls []*hull.Hull, cfg Config) ([]*hull.Hull, int, int, error) {
+	passes, merges := 0, 0
 	merged := true
 	for pass := 1; merged; pass++ {
 		merged = false
+		passes = pass
 		sp := obs.Start(ctx, "carve.merge-pass")
 		if sp != nil {
 			sp.Arg("pass", pass).Arg("hulls", len(hulls))
@@ -179,18 +246,19 @@ func mergeAll(ctx context.Context, hulls []*hull.Hull, cfg Config) ([]*hull.Hull
 				m, err := hull.Merge(hulls[i], hulls[j])
 				if err != nil {
 					sp.End()
-					return nil, err
+					return nil, passes, merges, err
 				}
 				// Remove j first (higher index), then i.
 				hulls = append(hulls[:j], hulls[j+1:]...)
 				hulls[i] = m
 				merged = true
+				merges++
 				break scan
 			}
 		}
 		sp.End()
 	}
-	return hulls, nil
+	return hulls, passes, merges, nil
 }
 
 // indexToPoint converts an array index to a geometric point.

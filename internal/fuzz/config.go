@@ -87,6 +87,20 @@ type Config struct {
 	// RNG stream) never depends on the degree of parallelism. Zero
 	// resolves to DefaultBatchSize.
 	BatchSize int
+	// Witnesses enables inclusion-provenance recording: for every
+	// index the campaign covers, Result.Witnesses remembers the seed
+	// (by ordinal into Result.Seeds) whose debloat test first observed
+	// it. Recording happens in the sequential merge phase, so it is
+	// deterministic and does not perturb the campaign at any worker
+	// count; it costs one map entry per covered index.
+	Witnesses bool
+	// OnCoverage, when non-nil, is called with each round's coverage
+	// snapshot as it is recorded — the live-telemetry hook the
+	// `kondo -status-addr` endpoint subscribes through. It runs on the
+	// campaign's sequential merge goroutine after the round's point is
+	// appended to Result.Coverage; it must not block for long and must
+	// not call back into the Fuzzer.
+	OnCoverage func(CoveragePoint)
 }
 
 // DefaultConfig returns the §V-B configuration: u_reps=8, n_reps=5,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -104,6 +105,15 @@ type Result struct {
 	MaxQueueDepth int
 	// StopReason states why the campaign ended.
 	StopReason StopReason
+	// Coverage is the per-round coverage time series: covered-index
+	// counts, discovery deltas, per-dimension extent coverage, and the
+	// saturation estimate (always recorded; one point per batch).
+	Coverage *CoverageSeries
+	// Witnesses maps each covered index (by linear position) to the
+	// ordinal into Seeds of the debloat test that first observed it —
+	// the fuzz half of the inclusion-provenance index. Nil unless
+	// Config.Witnesses was set.
+	Witnesses map[int64]int
 }
 
 // Fuzzer runs Alg. 1 against one program's parameter space.
@@ -183,6 +193,12 @@ func (f *Fuzzer) Run(ctx context.Context) (*Result, error) {
 	mBatches := reg.Counter("kondo_fuzz_batches_total")
 	gIndices := reg.Gauge("kondo_fuzz_indices")
 	gQueue := reg.Gauge("kondo_fuzz_queue_depth")
+	gSaturation := reg.Gauge("kondo_fuzz_saturation")
+	gNew := reg.Gauge("kondo_fuzz_new_indices")
+	gDim := make([]*obs.Gauge, f.space.Rank())
+	for k := range gDim {
+		gDim[k] = reg.Gauge("kondo_fuzz_dim_coverage", obs.L("dim", strconv.Itoa(k)))
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	start := time.Now()
@@ -191,7 +207,11 @@ func (f *Fuzzer) Run(ctx context.Context) (*Result, error) {
 		deadline = start.Add(cfg.TimeBudget)
 	}
 
-	res := &Result{Indices: array.NewIndexSet(f.space), Workers: workers}
+	cov := newCovTracker(f.space, start)
+	res := &Result{Indices: array.NewIndexSet(f.space), Workers: workers, Coverage: cov.series}
+	if cfg.Witnesses {
+		res.Witnesses = make(map[int64]int)
+	}
 	runSpan := obs.Start(ctx, "fuzz.run")
 	if runSpan != nil {
 		runSpan.Arg("workers", workers).Arg("batch_size", batchSize)
@@ -295,6 +315,7 @@ loop:
 
 		res.Batches++
 		mBatches.Inc()
+		roundNew := 0
 		roundSpan := obs.Start(ctx, "fuzz.round")
 		if roundSpan != nil {
 			roundSpan.Arg("batch", res.Batches).Arg("seeds", len(batch))
@@ -326,9 +347,29 @@ loop:
 				mEvals.Inc()
 				useful := !out.iv.Empty()
 
-				before := res.Indices.Len()
-				res.Indices.UnionWith(out.iv)
-				if res.Indices.Len() > before {
+				// Fold the eval's indices in one at a time so newly
+				// covered indices can feed the coverage tracker and the
+				// witness map. Each index is added at most once, so the
+				// result is independent of the set's iteration order.
+				added := 0
+				out.iv.Each(func(ix array.Index) bool {
+					ok, err := res.Indices.Add(ix)
+					if err != nil || !ok {
+						return true
+					}
+					added++
+					cov.observe(ix)
+					if res.Witnesses != nil {
+						if lin, lerr := f.space.Linear(ix); lerr == nil {
+							// The SeedRecord for this eval is appended
+							// below, so its ordinal is len(res.Seeds).
+							res.Witnesses[lin] = len(res.Seeds)
+						}
+					}
+					return true
+				})
+				roundNew += added
+				if added > 0 {
 					idleIters = 0
 				} else {
 					idleIters++
@@ -363,6 +404,20 @@ loop:
 			if cfg.Restart > 0 && itr%cfg.Restart == 0 {
 				reseed()
 			}
+		}
+
+		// Close the round: one coverage point per merged batch. The
+		// tracker only reads accumulated state, so the snapshot (and
+		// the optional live-telemetry callback) cannot perturb the
+		// campaign.
+		p := cov.snapshot(res.Batches, itr, res.Evaluations, res.Indices.Len(), roundNew)
+		gSaturation.Set(p.Saturation)
+		gNew.Set(float64(p.New))
+		for k, v := range p.DimCoverage {
+			gDim[k].Set(v)
+		}
+		if cfg.OnCoverage != nil {
+			cfg.OnCoverage(p)
 		}
 	}
 	res.StopReason = stop

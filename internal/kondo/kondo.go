@@ -40,6 +40,8 @@ type Result struct {
 	// Approx is I'_Θ: the rasterized union of the hulls — the index
 	// subset the debloated file keeps.
 	Approx *array.IndexSet
+	// CarveStats are the carve stage's hull-quality measurements.
+	CarveStats carve.Stats
 	// FuzzTime and CarveTime split the pipeline's wall-clock cost.
 	FuzzTime  time.Duration
 	CarveTime time.Duration
@@ -47,6 +49,17 @@ type Result struct {
 
 // Elapsed returns the total pipeline time.
 func (r *Result) Elapsed() time.Duration { return r.FuzzTime + r.CarveTime }
+
+// WasteRatio is |I'_Θ| / |IS|: how many indices the hulls keep per
+// observed index. 1 means the hulls add nothing beyond the
+// observations; large values mean convex over-approximation is
+// keeping data no test ever touched. Zero when nothing was observed.
+func (r *Result) WasteRatio() float64 {
+	if r.Fuzz == nil || r.Approx == nil || r.Fuzz.Indices.Len() == 0 {
+		return 0
+	}
+	return float64(r.Approx.Len()) / float64(r.Fuzz.Indices.Len())
+}
 
 // Debloat runs the full pipeline for a program using the virtual
 // debloat test (the paper's fuzz/carve methodology, §V-C). The
@@ -94,7 +107,7 @@ func debloat(ctx context.Context, f *fuzz.Fuzzer, space array.Space, cfg Config)
 
 	carveStart := time.Now()
 	carveSpan := obs.Start(ctx, "kondo.carve")
-	hulls, err := carve.CarveContext(ctx, fres.Indices, cfg.Carve)
+	hulls, cstats, err := carve.CarveStats(ctx, fres.Indices, cfg.Carve)
 	if carveSpan != nil {
 		carveSpan.Arg("hulls", len(hulls))
 	}
@@ -113,11 +126,16 @@ func debloat(ctx context.Context, f *fuzz.Fuzzer, space array.Space, cfg Config)
 	}
 	carveTime := time.Since(carveStart)
 
-	return &Result{
-		Fuzz:      fres,
-		Hulls:     hulls,
-		Approx:    approx,
-		FuzzTime:  fuzzTime,
-		CarveTime: carveTime,
-	}, nil
+	res := &Result{
+		Fuzz:       fres,
+		Hulls:      hulls,
+		Approx:     approx,
+		CarveStats: cstats,
+		FuzzTime:   fuzzTime,
+		CarveTime:  carveTime,
+	}
+	reg := obs.RegistryOf(ctx)
+	reg.Gauge("kondo_pipeline_kept_indices").Set(float64(approx.Len()))
+	reg.Gauge("kondo_pipeline_waste_ratio").Set(res.WasteRatio())
+	return res, nil
 }

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionLabelEscaping pins the three characters the text
+// format requires escaping in label values: backslash, double quote,
+// and newline. A scraper must see one well-formed line per series.
+func TestExpositionLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kondo_test_total", L("path", `C:\data\file`)).Inc()
+	r.Counter("kondo_test_total", L("path", `say "hi"`)).Add(2)
+	r.Counter("kondo_test_total", L("path", "line1\nline2")).Add(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`kondo_test_total{path="C:\\data\\file"} 1` + "\n",
+		`kondo_test_total{path="say \"hi\""} 2` + "\n",
+		`kondo_test_total{path="line1\nline2"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The literal newline must not survive into the output: exactly
+	// one # TYPE line plus one line per series, nothing split apart.
+	if lines := strings.Split(strings.TrimRight(out, "\n"), "\n"); len(lines) != 4 {
+		t.Errorf("expected 4 exposition lines (TYPE + 3 series), got %d:\n%s", len(lines), out)
+	}
+}
+
+// TestExpositionHistogramBuckets pins bucket semantics: bounds are
+// sorted at registration even when given out of order, bucket counts
+// are cumulative, the +Inf bucket equals _count, and exact-boundary
+// observations land in their own bucket (v <= bound).
+func TestExpositionHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("kondo_test_seconds", []float64{1, 0.01, 0.1}) // unsorted on purpose
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 3} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wants := []string{
+		"# TYPE kondo_test_seconds histogram\n",
+		`kondo_test_seconds_bucket{le="0.01"} 2` + "\n", // 0.005 and the exact 0.01
+		`kondo_test_seconds_bucket{le="0.1"} 3` + "\n",
+		`kondo_test_seconds_bucket{le="1"} 4` + "\n",
+		`kondo_test_seconds_bucket{le="+Inf"} 6` + "\n",
+		"kondo_test_seconds_count 6\n",
+	}
+	last := -1
+	for _, want := range wants {
+		i := strings.Index(out, want)
+		if i < 0 {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+		if i < last {
+			t.Fatalf("exposition out of order at %q:\n%s", want, out)
+		}
+		last = i
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if v, ok := strings.CutPrefix(line, "kondo_test_seconds_sum "); ok {
+			var sum float64
+			if _, err := fmt.Sscanf(v, "%g", &sum); err != nil || math.Abs(sum-5.565) > 1e-9 {
+				t.Errorf("histogram sum %q, want ~5.565 (err %v)", v, err)
+			}
+			return
+		}
+	}
+	t.Fatalf("exposition missing _sum series:\n%s", out)
+}
+
+// TestExpositionInfGaugeRendering: ±Inf gauge values render as the
+// format's +Inf/-Inf tokens, not Go's "+Inf"/"NaN" accidents of %g.
+func TestExpositionInfGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("kondo_test_hi").Set(math.Inf(1))
+	r.Gauge("kondo_test_lo").Set(math.Inf(-1))
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "kondo_test_hi +Inf\n") || !strings.Contains(out, "kondo_test_lo -Inf\n") {
+		t.Errorf("Inf gauges render wrong:\n%s", out)
+	}
+}
+
+// TestExpositionConcurrentWithRegistration races WritePrometheus
+// against ongoing registration and updates; run under -race this pins
+// that a scrape during campaign startup is safe, and that every
+// exposition observed is internally well-formed.
+func TestExpositionConcurrentWithRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("kondo_test_total", "Counter registered under concurrency.")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				r.Counter("kondo_test_total", L("worker", fmt.Sprint(w)), L("i", fmt.Sprint(i%8))).Inc()
+				r.Gauge("kondo_test_depth", L("worker", fmt.Sprint(w))).Set(float64(i))
+				r.Histogram("kondo_test_seconds", []float64{0.1, 1}, L("worker", fmt.Sprint(w))).Observe(0.05)
+				r.SetHelp("kondo_test_total", "Counter registered under concurrency.")
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() == 0 {
+			continue // scrape raced ahead of the first registration
+		}
+		for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+			if line == "" || (!strings.HasPrefix(line, "#") && len(strings.Fields(line)) != 2) {
+				t.Fatalf("malformed line under concurrency: %q", line)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// A final scrape must be well-formed and include the help text.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# HELP kondo_test_total Counter registered under concurrency.") {
+		t.Errorf("help text lost under concurrent registration:\n%s", b.String())
+	}
+}
+
+// TestExpositionNilRegistry: a nil registry writes nothing and does
+// not error — scrape handlers need no nil guard.
+func TestExpositionNilRegistry(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", b.String(), err)
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package prov
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/fuzz"
+	"repro/internal/geom"
+	"repro/internal/hull"
+)
+
+func mustSpace(t *testing.T, dims ...int) array.Space {
+	t.Helper()
+	s, err := array.NewSpace(dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustHull(t *testing.T, pts ...geom.Point) *hull.Hull {
+	t.Helper()
+	h, err := hull.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// testIndex builds a 2-D index over a 10x10 space with one square hull
+// covering [2,6]x[2,6], two seeds, and witnesses at (2,2) (seed 0) and
+// (6,6) (seed 1).
+func testIndex(t *testing.T) *InclusionIndex {
+	t.Helper()
+	space := mustSpace(t, 10, 10)
+	h := mustHull(t,
+		geom.Point{2, 2}, geom.Point{2, 6}, geom.Point{6, 2}, geom.Point{6, 6})
+	seeds := []fuzz.SeedRecord{
+		{V: []float64{10, 20}, Useful: true},
+		{V: []float64{30, 40}, Useful: true},
+	}
+	lin := func(i, j int) int64 {
+		l, err := space.Linear(array.Index{i, j})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	witnesses := map[int64]int{
+		lin(2, 2): 0,
+		lin(6, 6): 1,
+	}
+	return New("prog", "data", space, "element", nil, []*hull.Hull{h}, seeds, witnesses)
+}
+
+func TestExplainWitnessedIndex(t *testing.T) {
+	idx := testIndex(t)
+	att, err := idx.Explain(array.Index{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !att.Witnessed {
+		t.Fatal("expected (2,2) to be witnessed")
+	}
+	if att.Hull != 0 {
+		t.Fatalf("Hull = %d, want 0", att.Hull)
+	}
+	if att.Seed != 0 || !reflect.DeepEqual(att.SeedValue, []float64{10, 20}) {
+		t.Fatalf("attributed to seed %d v=%v, want seed 0 v=[10 20]", att.Seed, att.SeedValue)
+	}
+	if !strings.Contains(att.Note, "debloat test #0") {
+		t.Fatalf("note %q does not name the debloat test", att.Note)
+	}
+}
+
+func TestExplainOverApproximatedIndex(t *testing.T) {
+	idx := testIndex(t)
+	// (4,4) is inside the hull but never directly observed.
+	att, err := idx.Explain(array.Index{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Witnessed {
+		t.Fatal("(4,4) should not be witnessed")
+	}
+	if att.Hull != 0 {
+		t.Fatalf("Hull = %d, want 0", att.Hull)
+	}
+	if att.Seed < 0 {
+		t.Fatal("expected a nearest-witness seed attribution")
+	}
+	if !strings.Contains(att.Note, "over-approximation") {
+		t.Fatalf("note %q does not mention over-approximation", att.Note)
+	}
+}
+
+func TestExplainOutsideHulls(t *testing.T) {
+	idx := testIndex(t)
+	att, err := idx.Explain(array.Index{9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Hull != -1 {
+		t.Fatalf("Hull = %d, want -1", att.Hull)
+	}
+	if att.Seed != 1 {
+		t.Fatalf("Seed = %d, want nearest witness 1", att.Seed)
+	}
+}
+
+func TestExplainRejectsOutOfRange(t *testing.T) {
+	idx := testIndex(t)
+	if _, err := idx.Explain(array.Index{10, 0}); err == nil {
+		t.Fatal("expected error for out-of-range index")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	idx := testIndex(t)
+	path := filepath.Join(t.TempDir(), "prov.json")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != idx.Program || got.Dataset != idx.Dataset {
+		t.Fatalf("round trip lost identity: %+v", got)
+	}
+	if !reflect.DeepEqual(got.WitnessLins, idx.WitnessLins) ||
+		!reflect.DeepEqual(got.WitnessSeeds, idx.WitnessSeeds) {
+		t.Fatal("round trip lost witness arrays")
+	}
+	att, err := got.Explain(array.Index{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !att.Witnessed || att.Seed != 0 {
+		t.Fatalf("loaded index attribution wrong: %+v", att)
+	}
+}
+
+func TestLoadRejectsMismatchedWitnessArrays(t *testing.T) {
+	idx := testIndex(t)
+	idx.WitnessSeeds = idx.WitnessSeeds[:1]
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected mismatched parallel arrays to be rejected")
+	}
+}
+
+func TestWitnessArraysAreSorted(t *testing.T) {
+	idx := testIndex(t)
+	for i := 1; i < len(idx.WitnessLins); i++ {
+		if idx.WitnessLins[i-1] >= idx.WitnessLins[i] {
+			t.Fatalf("witness lins not strictly sorted: %v", idx.WitnessLins)
+		}
+	}
+}

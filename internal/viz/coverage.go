@@ -1,0 +1,148 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/fuzz"
+)
+
+// CoverageSVG renders a coverage series as a convergence plot: the
+// cumulative covered-index count over evaluations (blue, left axis
+// normalized to the final count) with the saturation estimate overlaid
+// (red, [0,1] on the same unit axis). This is the `kondo-viz
+// -coverage` figure.
+func CoverageSVG(w io.Writer, s *fuzz.CoverageSeries, title string) error {
+	if s == nil || len(s.Points) == 0 {
+		return fmt.Errorf("viz: empty coverage series")
+	}
+	const pxW, pxH, margin = 720, 360, 32
+	final := s.Final()
+	maxCovered := final.Covered
+	if maxCovered == 0 {
+		maxCovered = 1
+	}
+	maxEvals := final.Evaluations
+	if maxEvals == 0 {
+		maxEvals = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", pxW, pxH, pxW, pxH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", pxW, pxH)
+	fmt.Fprintf(&b, `<title>%s</title>`+"\n", title)
+
+	plotW := float64(pxW - 2*margin)
+	plotH := float64(pxH - 2*margin)
+	x := func(evals int) float64 {
+		return float64(margin) + plotW*float64(evals)/float64(maxEvals)
+	}
+	y := func(frac float64) float64 {
+		return float64(pxH-margin) - plotH*frac
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333" stroke-width="1"/>`+"\n",
+		margin, pxH-margin, pxW-margin, pxH-margin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333" stroke-width="1"/>`+"\n",
+		margin, margin, margin, pxH-margin)
+
+	poly := func(color string, frac func(p fuzz.CoveragePoint) float64) {
+		var pts []string
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(0), y(0)))
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(p.Evaluations), y(frac(p))))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+	}
+	poly(colorAccessed, func(p fuzz.CoveragePoint) float64 {
+		return float64(p.Covered) / float64(maxCovered)
+	})
+	poly(colorHull, func(p fuzz.CoveragePoint) float64 { return p.Saturation })
+
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="#333">%s — covered %d/%d indices, saturation %.2f, %d evals</text>`+"\n",
+		margin, margin-10, title, final.Covered, s.SpaceSize, final.Saturation, final.Evaluations)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CoverageASCII renders the convergence plot as a terminal chart:
+// covered-index trajectory (#) with the saturation estimate (~)
+// overlaid, one summary line per N rounds as needed to fit the width.
+func CoverageASCII(w io.Writer, s *fuzz.CoverageSeries, width, height int) error {
+	if s == nil || len(s.Points) == 0 {
+		return fmt.Errorf("viz: empty coverage series")
+	}
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	final := s.Final()
+	maxCovered := final.Covered
+	if maxCovered == 0 {
+		maxCovered = 1
+	}
+
+	// Downsample the points onto the chart columns.
+	cols := width
+	if len(s.Points) < cols {
+		cols = len(s.Points)
+	}
+	covered := make([]float64, cols)
+	sat := make([]float64, cols)
+	for c := 0; c < cols; c++ {
+		i := (c * (len(s.Points) - 1)) / max(cols-1, 1)
+		covered[c] = float64(s.Points[i].Covered) / float64(maxCovered)
+		sat[c] = s.Points[i].Saturation
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	rowOf := func(frac float64) int {
+		r := height - 1 - int(frac*float64(height-1)+0.5)
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for c := 0; c < cols; c++ {
+		grid[rowOf(sat[c])][c] = '~'
+		grid[rowOf(covered[c])][c] = '#' // on collision the trajectory wins
+	}
+
+	fmt.Fprintf(w, "coverage convergence: %d rounds, %d evals, %d/%d indices, saturation %.2f\n",
+		len(s.Points), final.Evaluations, final.Covered, s.SpaceSize, final.Saturation)
+	for r, row := range grid {
+		label := "      "
+		switch r {
+		case 0:
+			label = "100%% |"
+		case height - 1:
+			label = "  0%% |"
+		default:
+			label = "     |"
+		}
+		fmt.Fprintf(w, label+"%s\n", string(row))
+	}
+	fmt.Fprintf(w, "     +%s\n", strings.Repeat("-", cols))
+	fmt.Fprintf(w, "      0%sevals=%d\n", strings.Repeat(" ", max(cols-8-len(fmt.Sprint(final.Evaluations)), 1)), final.Evaluations)
+	fmt.Fprint(w, "      # covered fraction   ~ saturation\n")
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

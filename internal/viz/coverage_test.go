@@ -1,0 +1,64 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fuzz"
+)
+
+func series() *fuzz.CoverageSeries {
+	return &fuzz.CoverageSeries{
+		Dims:      []int{16, 16},
+		SpaceSize: 256,
+		Points: []fuzz.CoveragePoint{
+			{Round: 1, Evaluations: 8, Covered: 40, New: 40, Saturation: 0},
+			{Round: 2, Evaluations: 16, Covered: 90, New: 50, Saturation: 0.1},
+			{Round: 3, Evaluations: 24, Covered: 110, New: 20, Saturation: 0.5},
+			{Round: 4, Evaluations: 32, Covered: 112, New: 2, Saturation: 0.9},
+		},
+	}
+}
+
+func TestCoverageSVG(t *testing.T) {
+	var b strings.Builder
+	if err := CoverageSVG(&b, series(), "ARD campaign"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "ARD campaign", "112/256"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("want 2 polylines (coverage + saturation), got %d", got)
+	}
+}
+
+func TestCoverageSVGEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := CoverageSVG(&b, &fuzz.CoverageSeries{}, "x"); err == nil {
+		t.Fatal("expected error for empty series")
+	}
+	if err := CoverageSVG(&b, nil, "x"); err == nil {
+		t.Fatal("expected error for nil series")
+	}
+}
+
+func TestCoverageASCII(t *testing.T) {
+	var b strings.Builder
+	if err := CoverageASCII(&b, series(), 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "~") {
+		t.Fatalf("chart missing trajectory glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "112/256") || !strings.Contains(out, "saturation 0.90") {
+		t.Fatalf("summary line wrong:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines < 10 {
+		t.Fatalf("chart too short (%d lines):\n%s", lines, out)
+	}
+}
