@@ -57,11 +57,14 @@ verify: build vet lint-prints lint-metrics-docs test race
 bench-quick:
 	$(GO) run ./cmd/kondo-bench -exp all -quick
 
-# bench-json regenerates the machine-readable perf trajectory point
-# (BENCH_perf.json in the repo root): evals/s, hull count, waste
-# ratio, bytes kept, recovery round-trips for one end-to-end pipeline.
+# bench-json regenerates the machine-readable perf trajectory points
+# in the repo root: BENCH_perf.json (evals/s, hull count, waste ratio,
+# bytes kept, recovery round-trips for one end-to-end pipeline) and
+# BENCH_carve.json (merge-engine pair-test reduction and speedup over
+# the naive reference on a many-hull field).
 bench-json:
 	$(GO) run ./cmd/kondo-bench -exp perf -quick -json .
+	$(GO) run ./cmd/kondo-bench -exp carve -json .
 
 # trace-demo runs a small debloat campaign with tracing on and
 # validates the emitted Chrome trace-event JSON with the kondo-viz

@@ -545,6 +545,53 @@ func BenchmarkCarve(b *testing.B) {
 	}
 }
 
+// carveBenchField builds a many-hull blob field (the regime the
+// candidate-pair engine targets); see the carve bench experiment.
+func carveBenchField(b *testing.B, side int) *array.IndexSet {
+	b.Helper()
+	space := array.MustSpace(side, side)
+	cfg := carve.DefaultConfig()
+	set := array.NewIndexSet(space)
+	for r := cfg.CellSize; r+2*cfg.CellSize < side; r += 96 {
+		for c := cfg.CellSize; c+2*cfg.CellSize < side; c += 96 {
+			for _, off := range [][2]int{{0, 0}, {cfg.CellSize, 0}, {0, cfg.CellSize}} {
+				for dr := 0; dr < 3; dr++ {
+					for dc := 0; dc < 3; dc++ {
+						if _, err := set.Add(array.NewIndex(r+off[0]+dr*5, c+off[1]+dc*5)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// BenchmarkCarveEngine and BenchmarkCarveNaive measure the
+// candidate-pair merge engine against the retained one-merge-per-pass
+// reference on the same many-hull field; compare the two for the
+// engine's wall-clock speedup.
+func BenchmarkCarveEngine(b *testing.B) {
+	set := carveBenchField(b, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := carve.Carve(set, carve.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCarveNaive(b *testing.B) {
+	set := carveBenchField(b, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := carve.CarveNaive(set, carve.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFuzzCampaign(b *testing.B) {
 	p := workload.MustCS(2, workload.Default2D)
 	for i := 0; i < b.N; i++ {

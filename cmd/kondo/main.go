@@ -148,6 +148,7 @@ func programMode(ctx context.Context, name, data, dataset, out string, budget in
 	cfg.Fuzz.Seed = seed
 	cfg.Fuzz.MaxEvals = budget
 	cfg.Fuzz.Workers = workers
+	cfg.Carve.Workers = workers
 	cfg.Fuzz.Witnesses = tel.provOut != ""
 
 	var st *status.Server
@@ -191,9 +192,9 @@ func programMode(ctx context.Context, name, data, dataset, out string, budget in
 		res.Fuzz.Evaluations, res.Fuzz.Useful, res.Fuzz.NonUseful)
 	fmt.Printf("campaign:    %s\n", kondo.CampaignOf(res))
 	fmt.Printf("hulls:       %d\n", len(res.Hulls))
-	fmt.Printf("carve:       %d cells -> %d hulls (%d merges in %d passes, shrinkage %.2f), waste ratio %.2f, saturation %.2f\n",
+	fmt.Printf("carve:       %d cells -> %d hulls (%d merges in %d passes, %d pair tests, shrinkage %.2f), waste ratio %.2f, saturation %.2f\n",
 		res.CarveStats.Cells, res.CarveStats.FinalHulls, res.CarveStats.Merges,
-		res.CarveStats.MergePasses, res.CarveStats.Shrinkage(),
+		res.CarveStats.MergePasses, res.CarveStats.PairTests, res.CarveStats.Shrinkage(),
 		res.WasteRatio(), res.Fuzz.Coverage.Saturation())
 	fmt.Printf("subset:      %d of %d indices (%.2f%% bloat identified)\n",
 		res.Approx.Len(), p.Space().Size(),
@@ -340,6 +341,7 @@ func containerMode(ctx context.Context, specPath, src, imageDir, debloatedDir, d
 	cfg.Fuzz.Seed = seed
 	cfg.Fuzz.MaxEvals = budget
 	cfg.Fuzz.Workers = workers
+	cfg.Carve.Workers = workers
 	res, err := kondo.Debloat(ctx, p, cfg)
 	if err != nil {
 		return err

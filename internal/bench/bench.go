@@ -194,6 +194,7 @@ var registry = map[string]struct {
 	"curve":    {"Recall vs number of debloat tests (Kondo vs BF vs AFL)", Curve},
 	"hybrid":   {"Hybrid schedule: Kondo + AFL havoc phase (§VI extension)", Hybrid},
 	"perf":     {"End-to-end pipeline performance (machine-readable trajectory)", Perf},
+	"carve":    {"Carve merge engine vs naive reference (output sensitivity)", Carve},
 }
 
 // Experiments returns the available experiment ids, sorted.

@@ -7,12 +7,26 @@
 // merge the paper contrasts with classical divide-and-conquer hull
 // merging). The resulting hull set ℍ, rasterized, is the approximated
 // index subset I'_Θ.
+//
+// The merge fixpoint runs on a candidate-pair engine (engine.go): a
+// spatial grid proposes neighbor pairs, a bbox-distance lower bound
+// prunes hopeless boundary scans, and a merge re-tests only pairs
+// involving the merged hull — so the work scales with the observed
+// hull neighborhoods, not with passes × n². The engine's output is
+// bit-identical to the retained naive reference (naive.go).
+//
+// Empty input is not an error anywhere in this package: carving
+// nothing yields nothing (nil hulls, nil error) from both Carve and
+// SimpleConvex.
 package carve
 
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/array"
 	"repro/internal/geom"
@@ -50,6 +64,11 @@ type Config struct {
 	BoundaryDistThresh float64
 	// Mode composes the two distance tests (see CloseMode).
 	Mode CloseMode
+	// Workers bounds the worker pool used for per-cell hull
+	// construction and hull rasterization (0 or negative: one per
+	// available CPU). The carve result is bit-identical at any worker
+	// count; only wall-clock changes.
+	Workers int
 }
 
 // DefaultConfig returns the paper's §V-B carving configuration.
@@ -71,17 +90,34 @@ func (c Config) validate() error {
 	return nil
 }
 
+// workers resolves the configured pool size against the machine.
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
 // close is the paper's CLOSE predicate. Boundary distance drives the
 // early merging of small neighbouring cell hulls; center distance
 // lets a grown hull keep absorbing nearby small hulls whose vertices
-// have drifted apart (§IV-B's discussion of output sensitivity).
+// have drifted apart (§IV-B's discussion of output sensitivity). The
+// O(V²) boundary-vertex scan only runs when the O(d) bbox gap — a
+// lower bound on the boundary distance — could still pass the
+// threshold.
 func (c Config) close(a, b *hull.Hull) bool {
-	boundary := a.BoundaryDist(b) <= c.BoundaryDistThresh
 	center := a.CenterDist(b) <= c.CenterDistThresh
 	if c.Mode == CloseBoth {
-		return boundary && center
+		if !center {
+			return false
+		}
+	} else if center {
+		return true
 	}
-	return boundary || center
+	if a.BBoxGap(b) > c.BoundaryDistThresh {
+		return false
+	}
+	return a.BoundaryDist(b) <= c.BoundaryDistThresh
 }
 
 // Stats are the hull-quality measurements of one carve invocation.
@@ -98,11 +134,21 @@ type Stats struct {
 	InitialHulls int
 	// FinalHulls is |ℍ| after the CLOSE-merge fixpoint.
 	FinalHulls int
-	// MergePasses is the number of fixpoint passes (including the
-	// final pass that found nothing to merge).
+	// MergePasses is the number of true fixpoint passes: the longest
+	// chain of dependent merges (a merge enabled by the hull produced
+	// by the previous one) plus the final pass that found nothing to
+	// merge. A pass may contain many independent merges.
 	MergePasses int
 	// Merges is the total number of pairwise hull merges performed.
 	Merges int
+	// PairTests is the number of CLOSE pair evaluations the engine
+	// performed. The naive fixpoint would evaluate on the order of
+	// MergePasses × InitialHulls² pairs; the candidate-pair engine
+	// tests only grid-proposed neighbors.
+	PairTests int64
+	// PruneHits is the number of pair tests the bbox-distance lower
+	// bound resolved without running the O(V²) boundary-vertex scan.
+	PruneHits int64
 }
 
 // Shrinkage is the fraction of initial hulls eliminated by merging —
@@ -116,14 +162,15 @@ func (s Stats) Shrinkage() float64 {
 }
 
 // Carve runs Alg. 2 on the observed index points IS and returns the
-// merged hull set ℍ.
+// merged hull set ℍ. An empty point set carves to nil hulls with nil
+// error.
 func Carve(points *array.IndexSet, cfg Config) ([]*hull.Hull, error) {
 	return CarveContext(context.Background(), points, cfg)
 }
 
-// CarveContext is Carve with a context carrying optional
-// observability state: when an obs trace is attached, the SPLIT,
-// per-cell hull, and each fixpoint merge pass emit spans.
+// CarveContext is Carve with a context carrying cancellation and
+// optional observability state: when an obs trace is attached, the
+// SPLIT, per-cell hull, and merge stages emit spans.
 func CarveContext(ctx context.Context, points *array.IndexSet, cfg Config) ([]*hull.Hull, error) {
 	hulls, _, err := CarveStats(ctx, points, cfg)
 	return hulls, err
@@ -140,6 +187,9 @@ func CarveStats(ctx context.Context, points *array.IndexSet, cfg Config) ([]*hul
 	if points.Len() == 0 {
 		return nil, st, nil
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	st.Points = points.Len()
 	sp := obs.Start(ctx, "carve.split")
 	cells := split(points, cfg.CellSize)
@@ -150,30 +200,82 @@ func CarveStats(ctx context.Context, points *array.IndexSet, cfg Config) ([]*hul
 	sp.End()
 
 	sp = obs.Start(ctx, "carve.cell-hulls")
-	hulls := make([]*hull.Hull, 0, len(cells))
-	for _, cellPts := range cells {
-		h, err := hull.New(cellPts)
-		if err != nil {
-			sp.End()
-			return nil, st, err
-		}
-		hulls = append(hulls, h)
+	hulls, err := cellHulls(ctx, cells, cfg.workers())
+	if err != nil {
+		sp.End()
+		return nil, st, err
 	}
 	st.InitialHulls = len(hulls)
 	if sp != nil {
-		sp.Arg("hulls", len(hulls))
+		sp.Arg("hulls", len(hulls)).Arg("workers", cfg.workers())
 	}
 	sp.End()
 
-	hulls, passes, merges, err := mergeAll(ctx, hulls, cfg)
+	sp = obs.Start(ctx, "carve.merge")
+	hulls, ms, err := mergeAll(ctx, hulls, cfg)
+	if sp != nil {
+		sp.Arg("passes", ms.passes).Arg("merges", ms.merges).
+			Arg("pair_tests", ms.pairTests).Arg("prune_hits", ms.pruneHits)
+	}
+	sp.End()
 	if err != nil {
 		return nil, st, err
 	}
-	st.MergePasses = passes
-	st.Merges = merges
+	st.MergePasses = ms.passes
+	st.Merges = ms.merges
+	st.PairTests = ms.pairTests
+	st.PruneHits = ms.pruneHits
 	st.FinalHulls = len(hulls)
 	publishStats(ctx, st)
 	return hulls, st, nil
+}
+
+// cellHulls builds one convex hull per occupied cell through a bounded
+// worker pool, preserving deterministic cell order. hull.New is a pure
+// function of its cell's points, so the result is identical at any
+// worker count.
+func cellHulls(ctx context.Context, cells [][]geom.Point, workers int) ([]*hull.Hull, error) {
+	hulls := make([]*hull.Hull, len(cells))
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i, cellPts := range cells {
+			h, err := hull.New(cellPts)
+			if err != nil {
+				return nil, err
+			}
+			hulls[i] = h
+		}
+		return hulls, nil
+	}
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) || errs[w] != nil {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				hulls[i], errs[w] = hull.New(cells[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return hulls, nil
 }
 
 // publishStats records one carve invocation's hull-quality stats in
@@ -186,23 +288,32 @@ func publishStats(ctx context.Context, st Stats) {
 	reg.Gauge("kondo_carve_merge_passes").Set(float64(st.MergePasses))
 	reg.Gauge("kondo_carve_shrinkage").Set(st.Shrinkage())
 	reg.Counter("kondo_carve_merges_total").Add(int64(st.Merges))
+	reg.Counter("kondo_carve_pair_tests_total").Add(st.PairTests)
+	reg.Counter("kondo_carve_prune_hits_total").Add(st.PruneHits)
 }
 
 // SimpleConvex is the paper's SC baseline: the fuzzer's points carved
 // with a single regular convex hull (no cells, no merge thresholds).
+// Like Carve, an empty point set yields a nil hull with nil error —
+// callers must treat the nil hull as an empty approximation.
 func SimpleConvex(points *array.IndexSet) (*hull.Hull, error) {
 	if points.Len() == 0 {
-		return nil, fmt.Errorf("carve: no points")
+		return nil, nil
 	}
 	return hull.New(collectPoints(points))
 }
 
 // split partitions the points into fixed-size grid cells (Alg. 2's
-// SPLIT), returned in deterministic cell order.
+// SPLIT), returned in deterministic cell order with each cell's points
+// in row-major order. The within-cell ordering matters: in three and
+// more dimensions the extreme-vertex reduction is insertion-order
+// dependent, so an unordered (map-iteration) split would make the
+// whole carve nondeterministic call-to-call.
 func split(points *array.IndexSet, cellSize int) [][]geom.Point {
 	type cellKey string
-	byCell := make(map[cellKey][]geom.Point)
+	byCell := make(map[cellKey][]int64)
 	var order []cellKey
+	space := points.Space()
 	points.Each(func(ix array.Index) bool {
 		key := make(array.Index, len(ix))
 		for k, v := range ix {
@@ -212,53 +323,29 @@ func split(points *array.IndexSet, cellSize int) [][]geom.Point {
 		if _, ok := byCell[ck]; !ok {
 			order = append(order, ck)
 		}
-		byCell[ck] = append(byCell[ck], indexToPoint(ix))
+		lin, err := space.Linear(ix)
+		if err != nil {
+			return true // unreachable: ix came from the set itself
+		}
+		byCell[ck] = append(byCell[ck], lin)
 		return true
 	})
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	out := make([][]geom.Point, len(order))
 	for i, ck := range order {
-		out[i] = byCell[ck]
+		lins := byCell[ck]
+		sort.Slice(lins, func(a, b int) bool { return lins[a] < lins[b] })
+		pts := make([]geom.Point, len(lins))
+		for j, lin := range lins {
+			ix, err := space.Unlinear(lin)
+			if err != nil {
+				continue // unreachable by construction
+			}
+			pts[j] = indexToPoint(ix)
+		}
+		out[i] = pts
 	}
 	return out
-}
-
-// mergeAll iterates the CLOSE-merge loop of Alg. 2 to fixpoint,
-// returning the hull set plus the pass and merge counts. Each merge
-// strictly reduces the hull count, so the loop terminates after at
-// most len(hulls)-1 merges.
-func mergeAll(ctx context.Context, hulls []*hull.Hull, cfg Config) ([]*hull.Hull, int, int, error) {
-	passes, merges := 0, 0
-	merged := true
-	for pass := 1; merged; pass++ {
-		merged = false
-		passes = pass
-		sp := obs.Start(ctx, "carve.merge-pass")
-		if sp != nil {
-			sp.Arg("pass", pass).Arg("hulls", len(hulls))
-		}
-	scan:
-		for i := 0; i < len(hulls); i++ {
-			for j := i + 1; j < len(hulls); j++ {
-				if !cfg.close(hulls[i], hulls[j]) {
-					continue
-				}
-				m, err := hull.Merge(hulls[i], hulls[j])
-				if err != nil {
-					sp.End()
-					return nil, passes, merges, err
-				}
-				// Remove j first (higher index), then i.
-				hulls = append(hulls[:j], hulls[j+1:]...)
-				hulls[i] = m
-				merged = true
-				merges++
-				break scan
-			}
-		}
-		sp.End()
-	}
-	return hulls, passes, merges, nil
 }
 
 // indexToPoint converts an array index to a geometric point.
@@ -270,13 +357,25 @@ func indexToPoint(ix array.Index) geom.Point {
 	return p
 }
 
-// collectPoints materializes an index set as geometric points.
+// collectPoints materializes an index set as geometric points in
+// row-major order, so hulls built from them are deterministic even
+// where the vertex reduction is insertion-order dependent (3D+).
 func collectPoints(points *array.IndexSet) []geom.Point {
-	out := make([]geom.Point, 0, points.Len())
-	points.Each(func(ix array.Index) bool {
-		out = append(out, indexToPoint(ix))
+	lins := make([]int64, 0, points.Len())
+	points.EachLinear(func(lin int64) bool {
+		lins = append(lins, lin)
 		return true
 	})
+	sort.Slice(lins, func(i, j int) bool { return lins[i] < lins[j] })
+	space := points.Space()
+	out := make([]geom.Point, 0, len(lins))
+	for _, lin := range lins {
+		ix, err := space.Unlinear(lin)
+		if err != nil {
+			continue // unreachable by construction
+		}
+		out = append(out, indexToPoint(ix))
+	}
 	return out
 }
 
@@ -284,4 +383,13 @@ func collectPoints(points *array.IndexSet) []geom.Point {
 // I'_Θ over the data array's space.
 func Rasterize(hulls []*hull.Hull, space array.Space) (*array.IndexSet, error) {
 	return hull.RasterizeAll(hulls, space)
+}
+
+// RasterizeContext is Rasterize with cancellation and bounded
+// parallelism: hulls are sharded across up to workers goroutines (0 or
+// negative: one per available CPU) and the per-worker index sets are
+// unioned deterministically. The result is bit-identical at any worker
+// count.
+func RasterizeContext(ctx context.Context, hulls []*hull.Hull, space array.Space, workers int) (*array.IndexSet, error) {
+	return hull.RasterizeAllContext(ctx, hulls, space, workers)
 }

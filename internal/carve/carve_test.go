@@ -152,8 +152,24 @@ func TestSimpleConvexCoversHole(t *testing.T) {
 	if !h.Contains(geom.NewPoint(30, 30)) {
 		t.Error("SC hull should cover the midpoint")
 	}
-	if _, err := SimpleConvex(array.NewIndexSet(space)); err == nil {
-		t.Error("SC of empty set should error")
+}
+
+func TestEmptyInputContract(t *testing.T) {
+	// Carve and SimpleConvex agree on empty input: carving nothing
+	// yields nothing — nil result, nil error (documented contract).
+	space := array.MustSpace(64, 64)
+	empty := array.NewIndexSet(space)
+	hulls, err := Carve(empty, DefaultConfig())
+	if err != nil || hulls != nil {
+		t.Errorf("Carve(empty) = %v, %v; want nil, nil", hulls, err)
+	}
+	h, err := SimpleConvex(empty)
+	if err != nil || h != nil {
+		t.Errorf("SimpleConvex(empty) = %v, %v; want nil, nil", h, err)
+	}
+	naive, err := CarveNaive(empty, DefaultConfig())
+	if err != nil || naive != nil {
+		t.Errorf("CarveNaive(empty) = %v, %v; want nil, nil", naive, err)
 	}
 }
 

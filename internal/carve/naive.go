@@ -1,0 +1,62 @@
+package carve
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/hull"
+)
+
+// CarveNaive is the retained pre-engine reference implementation of
+// Carve: SPLIT, sequential per-cell hulls, and the restart-from-
+// scratch fixpoint that rescans every pair after each merge. It is
+// quadratic-per-merge by construction and exists only so tests can pin
+// the candidate-pair engine's output against it and the bench harness
+// can measure the speedup; the pipeline never calls it.
+func CarveNaive(points *array.IndexSet, cfg Config) ([]*hull.Hull, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if points.Len() == 0 {
+		return nil, nil
+	}
+	cells := split(points, cfg.CellSize)
+	hulls := make([]*hull.Hull, 0, len(cells))
+	for _, cellPts := range cells {
+		h, err := hull.New(cellPts)
+		if err != nil {
+			return nil, fmt.Errorf("carve: cell hull: %w", err)
+		}
+		hulls = append(hulls, h)
+	}
+	return mergeAllNaive(hulls, cfg)
+}
+
+// mergeAllNaive is the original merge loop: each pass scans pairs in
+// lexicographic index order, merges the first CLOSE pair it finds into
+// the lower slot, and restarts. The engine replays exactly this merge
+// sequence — lowest surviving index wins — without the rescans.
+func mergeAllNaive(hulls []*hull.Hull, cfg Config) ([]*hull.Hull, error) {
+	merged := true
+	for merged {
+		merged = false
+	scan:
+		for i := 0; i < len(hulls); i++ {
+			for j := i + 1; j < len(hulls); j++ {
+				if !cfg.close(hulls[i], hulls[j]) {
+					continue
+				}
+				m, err := hull.Merge(hulls[i], hulls[j])
+				if err != nil {
+					return nil, err
+				}
+				// Remove j first (higher index), then replace i.
+				hulls = append(hulls[:j], hulls[j+1:]...)
+				hulls[i] = m
+				merged = true
+				break scan
+			}
+		}
+	}
+	return hulls, nil
+}

@@ -30,7 +30,10 @@ func newChunkCache(maxBytes int64) *chunkCache {
 	return &chunkCache{maxBytes: maxBytes, order: list.New(), byKey: make(map[string]*list.Element)}
 }
 
-// get returns the cached values for key, promoting the entry.
+// get returns a copy of the cached values for key, promoting the
+// entry. Returning a copy (not the resident slice) means a caller
+// mutating the recovered values cannot corrupt the cache for every
+// future hit of the same chunk.
 func (c *chunkCache) get(key string) ([]float64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -39,12 +42,15 @@ func (c *chunkCache) get(key string) ([]float64, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).vals, true
+	return append([]float64(nil), el.Value.(*cacheEntry).vals...), true
 }
 
 // put inserts (or refreshes) an entry, evicting least-recently-used
 // entries until the cache fits its byte bound. An entry larger than
-// the whole bound is not cached at all.
+// the whole bound is not cached at all. The cache stores its own copy
+// of vals, so the caller keeping (and mutating) its slice — the miss
+// path hands the fetched slice to both the cache and the caller —
+// cannot corrupt future hits.
 func (c *chunkCache) put(key string, vals []float64) {
 	size := entryBytes(vals)
 	c.mu.Lock()
@@ -52,13 +58,14 @@ func (c *chunkCache) put(key string, vals []float64) {
 	if size > c.maxBytes {
 		return
 	}
+	owned := append([]float64(nil), vals...)
 	if el, ok := c.byKey[key]; ok {
 		old := el.Value.(*cacheEntry)
 		c.curBytes += size - entryBytes(old.vals)
-		old.vals = vals
+		old.vals = owned
 		c.order.MoveToFront(el)
 	} else {
-		c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, vals: vals})
+		c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, vals: owned})
 		c.curBytes += size
 	}
 	for c.curBytes > c.maxBytes {

@@ -1,0 +1,134 @@
+package dataserve
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupPanicReleasesKey pins the singleflight panic path: a
+// panicking fn must still remove the flight entry and release its
+// waiters. Before the deferred cleanup, the entry stayed in the map
+// with an unclosed done channel and every later fetch of the key
+// deadlocked.
+func TestFlightGroupPanicReleasesKey(t *testing.T) {
+	g := newFlightGroup()
+
+	leaderIn := make(chan struct{})
+	waiterJoined := make(chan struct{})
+
+	// A waiter joins the flight while the leader is inside fn, so it is
+	// blocked on the done channel when the panic fires.
+	var waiterVals []float64
+	var waiterErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-leaderIn
+		close(waiterJoined)
+		waiterVals, waiterErr, _ = g.do("k", func() ([]float64, error) {
+			t.Error("waiter ran fn; it should have joined the leader's flight")
+			return nil, nil
+		})
+	}()
+
+	// The leader's panic must propagate to the initiating caller.
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("leader's panic did not propagate")
+			}
+		}()
+		g.do("k", func() ([]float64, error) {
+			close(leaderIn)
+			<-waiterJoined
+			// Give the waiter a beat to actually block on done.
+			time.Sleep(10 * time.Millisecond)
+			panic("fetch exploded")
+		})
+	}()
+
+	wg.Wait()
+	if waiterErr == nil {
+		t.Fatal("waiter of a panicked flight got a nil error")
+	}
+	if !strings.Contains(waiterErr.Error(), "panicked") {
+		t.Errorf("waiter error %q does not mention the panic", waiterErr)
+	}
+	if waiterVals != nil {
+		t.Errorf("waiter of a panicked flight got values %v", waiterVals)
+	}
+
+	// The key must be usable again: a post-panic fetch runs fn and
+	// succeeds instead of blocking on the dead flight.
+	done := make(chan struct{})
+	var vals []float64
+	var err error
+	go func() {
+		defer close(done)
+		vals, err, _ = g.do("k", func() ([]float64, error) {
+			return []float64{42}, nil
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-panic fetch of the same key deadlocked")
+	}
+	if err != nil {
+		t.Fatalf("post-panic fetch failed: %v", err)
+	}
+	if len(vals) != 1 || vals[0] != 42 {
+		t.Errorf("post-panic fetch returned %v, want [42]", vals)
+	}
+}
+
+// TestFlightGroupErrorNotCached checks a plain error (no panic) is
+// handed to waiters and the key is immediately retryable.
+func TestFlightGroupErrorNotCached(t *testing.T) {
+	g := newFlightGroup()
+	sentinel := errors.New("boom")
+	if _, err, _ := g.do("k", func() ([]float64, error) { return nil, sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	vals, err, _ := g.do("k", func() ([]float64, error) { return []float64{1}, nil })
+	if err != nil || len(vals) != 1 {
+		t.Fatalf("retry after error: vals %v err %v", vals, err)
+	}
+}
+
+// TestChunkCacheAliasing pins the copy-in/copy-out contract: mutating
+// the slice handed to put, or the slice returned by get, must not
+// change what later hits observe. Before the fix, get returned the
+// resident slice, so one caller scribbling on recovered values
+// corrupted the chunk for every future hit.
+func TestChunkCacheAliasing(t *testing.T) {
+	c := newChunkCache(1 << 20)
+
+	src := []float64{1, 2, 3, 4}
+	c.put("k", src)
+	src[0] = -99 // caller keeps mutating its own slice after insert
+
+	first, ok := c.get("k")
+	if !ok {
+		t.Fatal("k missing")
+	}
+	if first[0] != 1 {
+		t.Fatalf("insert aliased the caller's slice: got %v", first)
+	}
+
+	first[1] = -99 // caller scribbles on the returned values
+
+	second, ok := c.get("k")
+	if !ok {
+		t.Fatal("k missing on second get")
+	}
+	for i, want := range []float64{1, 2, 3, 4} {
+		if second[i] != want {
+			t.Fatalf("cache corrupted by mutating a returned slice: got %v", second)
+		}
+	}
+}

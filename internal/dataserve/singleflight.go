@@ -1,6 +1,9 @@
 package dataserve
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // flightGroup deduplicates concurrent fetches of the same key: the
 // first caller performs the work, later callers block until it
@@ -41,10 +44,22 @@ func (g *flightGroup) do(key string, fn func() ([]float64, error)) (vals []float
 	g.flight[key] = c
 	g.mu.Unlock()
 
+	// Cleanup runs deferred so a panicking fn still removes the flight
+	// entry and releases its waiters — otherwise every later fetch of
+	// this key would block on a done channel nobody will ever close.
+	// Waiters observe an error (not the panic); the panic itself
+	// propagates to the initiating caller.
+	completed := false
+	defer func() {
+		if !completed {
+			c.vals, c.err = nil, fmt.Errorf("dataserve: in-flight fetch of key %q panicked", key)
+		}
+		g.mu.Lock()
+		delete(g.flight, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
 	c.vals, c.err = fn()
-	g.mu.Lock()
-	delete(g.flight, key)
-	g.mu.Unlock()
-	close(c.done)
+	completed = true
 	return c.vals, c.err, false
 }

@@ -66,6 +66,26 @@ func (b Box) Intersects(o Box) bool {
 	return true
 }
 
+// Gap returns the Euclidean distance between the two boxes: the
+// smallest distance between any point of b and any point of o, zero
+// when they intersect. It lower-bounds the distance between any two
+// point sets contained in the boxes.
+func (b Box) Gap(o Box) float64 {
+	checkDim(b.Min, o.Min)
+	var sum float64
+	for i := range b.Min {
+		var d float64
+		switch {
+		case o.Min[i] > b.Max[i]:
+			d = o.Min[i] - b.Max[i]
+		case b.Min[i] > o.Max[i]:
+			d = b.Min[i] - o.Max[i]
+		}
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
 // Union returns the smallest box containing both b and o.
 func (b Box) Union(o Box) Box {
 	checkDim(b.Min, o.Min)

@@ -1,8 +1,13 @@
 package hull
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/array"
 	"repro/internal/geom"
@@ -55,8 +60,17 @@ func New(points []geom.Point) (*Hull, error) {
 // dropped, and the kept set is re-pruned at the end so points absorbed
 // by later arrivals are removed too.
 func extremeVertices(points []geom.Point) []geom.Point {
+	// Visit points in a fixed pseudo-random permutation. The
+	// incremental reduction is only fast when arrivals are scattered —
+	// then the kept set stays near the true extreme set — and degrades
+	// catastrophically on sorted lattice input, where nearly every
+	// point is extreme for the prefix slab seen so far (a 16³ cell in
+	// row-major order keeps thousands of candidates). The constant
+	// seed keeps the result a pure function of the input ordering.
+	perm := rand.New(rand.NewSource(1)).Perm(len(points))
 	kept := make([]geom.Point, 0, 16)
-	for _, p := range points {
+	for _, pi := range perm {
+		p := points[pi]
 		if len(kept) > 0 && InConvexCombination(p, kept) {
 			continue
 		}
@@ -143,6 +157,15 @@ func (h *Hull) CenterDist(o *Hull) float64 {
 	return h.cent.Dist(o.cent)
 }
 
+// BBoxGap returns the distance between the two hulls' bounding boxes.
+// Every vertex lies inside its hull's bbox, so this is a lower bound
+// on BoundaryDist computable in O(d) instead of O(V²) — the carve
+// engine uses it to skip boundary scans that cannot pass the CLOSE
+// threshold.
+func (h *Hull) BBoxGap(o *Hull) float64 {
+	return h.bbox.Gap(o.bbox)
+}
+
 // BoundaryDist returns the minimum distance between the two hulls'
 // vertex sets — the paper's hull-boundary distance.
 func (h *Hull) BoundaryDist(o *Hull) float64 {
@@ -165,14 +188,16 @@ func (h *Hull) Rasterize(space array.Space) (*array.IndexSet, error) {
 		return nil, fmt.Errorf("hull: rasterize %dD hull over rank-%d space", h.dim, space.Rank())
 	}
 	set := array.NewIndexSet(space)
-	if err := h.rasterizeInto(space, set); err != nil {
+	if err := h.rasterizeInto(nil, space, set); err != nil {
 		return nil, err
 	}
 	return set, nil
 }
 
 // rasterizeInto adds the hull's covered indices to an existing set.
-func (h *Hull) rasterizeInto(space array.Space, set *array.IndexSet) error {
+// A non-nil context is checked periodically so a canceled caller stops
+// a large lattice walk mid-hull.
+func (h *Hull) rasterizeInto(ctx context.Context, space array.Space, set *array.IndexSet) error {
 	// Iterate only the integer lattice inside bbox ∩ space.
 	lo := make([]int, h.dim)
 	hi := make([]int, h.dim)
@@ -192,7 +217,13 @@ func (h *Hull) rasterizeInto(space array.Space, set *array.IndexSet) error {
 	cur := append([]int(nil), lo...)
 	p := make(geom.Point, h.dim)
 	ix := make(array.Index, h.dim)
+	visited := 0
 	for {
+		if visited++; ctx != nil && visited%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		for k := 0; k < h.dim; k++ {
 			p[k] = float64(cur[k])
 			ix[k] = cur[k]
@@ -218,13 +249,74 @@ func (h *Hull) rasterizeInto(space array.Space, set *array.IndexSet) error {
 }
 
 // RasterizeAll rasterizes a set of hulls into one index set (the union
-// of their covered indices).
+// of their covered indices), sequentially.
 func RasterizeAll(hulls []*Hull, space array.Space) (*array.IndexSet, error) {
-	set := array.NewIndexSet(space)
-	for _, h := range hulls {
-		if err := h.rasterizeInto(space, set); err != nil {
+	return RasterizeAllContext(context.Background(), hulls, space, 1)
+}
+
+// RasterizeAllContext is RasterizeAll with bounded parallelism: hulls
+// are sharded across up to workers goroutines (0 or negative means one
+// per available CPU), each rasterizing into a private index set, and
+// the per-worker sets are unioned in worker order. Index-set union is
+// commutative, so the result is bit-identical at any worker count. A
+// canceled context stops the walk and returns the context's error.
+func RasterizeAllContext(ctx context.Context, hulls []*Hull, space array.Space, workers int) (*array.IndexSet, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(hulls) {
+		workers = len(hulls)
+	}
+	if workers <= 1 {
+		set := array.NewIndexSet(space)
+		for _, h := range hulls {
+			if err := h.rasterizeInto(ctx, space, set); err != nil {
+				return nil, err
+			}
+		}
+		return set, nil
+	}
+	sets := make([]*array.IndexSet, workers)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			set := array.NewIndexSet(space)
+			sets[w] = set
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(hulls) || errs[w] != nil {
+					return
+				}
+				errs[w] = hulls[i].rasterizeInto(ctx, space, set)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
 	}
-	return set, nil
+	// Union into the largest per-worker set so the (map-insert-bound)
+	// merge re-inserts as few indices as possible. Union is commutative,
+	// so the result is still worker-count independent.
+	out := sets[0]
+	for _, set := range sets[1:] {
+		if set.Len() > out.Len() {
+			out = set
+		}
+	}
+	for _, set := range sets {
+		if set != out {
+			out.UnionWith(set)
+		}
+	}
+	return out, nil
 }

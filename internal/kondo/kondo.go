@@ -116,7 +116,7 @@ func debloat(ctx context.Context, f *fuzz.Fuzzer, space array.Space, cfg Config)
 		return nil, fmt.Errorf("kondo: carving: %w", err)
 	}
 	rastSpan := obs.Start(ctx, "kondo.rasterize")
-	approx, err := carve.Rasterize(hulls, space)
+	approx, err := carve.RasterizeContext(ctx, hulls, space, cfg.Carve.Workers)
 	if rastSpan != nil && approx != nil {
 		rastSpan.Arg("indices", approx.Len())
 	}

@@ -50,7 +50,7 @@ func TestDebloatEmitsPipelineSpans(t *testing.T) {
 			durs[e.Name] = *e.Dur
 		}
 	}
-	for _, name := range []string{"kondo.fuzz", "kondo.carve", "kondo.rasterize", "fuzz.run", "carve.split", "carve.merge-pass"} {
+	for _, name := range []string{"kondo.fuzz", "kondo.carve", "kondo.rasterize", "fuzz.run", "carve.split", "carve.merge"} {
 		if durs[name] <= 0 {
 			t.Errorf("no %s span with positive duration (got %v)", name, durs[name])
 		}

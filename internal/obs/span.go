@@ -116,7 +116,7 @@ type Span struct {
 // Start begins a span named name if ctx carries a Trace, returning
 // nil otherwise. The disabled path performs no allocations when
 // called without args. By convention names are dot-separated with the
-// subsystem first: "fuzz.round", "carve.merge-pass", "serve.chunk".
+// subsystem first: "fuzz.round", "carve.merge", "serve.chunk".
 func Start(ctx context.Context, name string, args ...Arg) *Span {
 	tr, _ := ctx.Value(traceKey{}).(*Trace)
 	if tr == nil {
