@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench-quick bench-json lint-prints lint-metrics-docs trace-demo
+.PHONY: build test race vet verify bench-quick bench-json bench-check lint-prints lint-metrics-docs trace-demo
 
 build:
 	$(GO) build ./...
@@ -49,9 +49,9 @@ lint-metrics-docs:
 	@echo "lint-metrics-docs: OK"
 
 # verify is the full tier-1 check: build, vet, the print lint, the
-# metrics-docs lint, plain tests, and the race-detector pass over the
-# concurrent paths.
-verify: build vet lint-prints lint-metrics-docs test race
+# metrics-docs lint, plain tests, the race-detector pass over the
+# concurrent paths, and the bench regression gate.
+verify: build vet lint-prints lint-metrics-docs test race bench-check
 	@echo "verify: OK"
 
 bench-quick:
@@ -65,6 +65,15 @@ bench-quick:
 bench-json:
 	$(GO) run ./cmd/kondo-bench -exp perf -quick -json .
 	$(GO) run ./cmd/kondo-bench -exp carve -json .
+
+# bench-check re-runs the gated experiments with the same flags as
+# bench-json and fails when any deterministic count metric regresses
+# against the committed BENCH_*.json baselines (wall-clock metrics are
+# exempt). After an intentional behavior change, regenerate the
+# baselines with `make bench-json` and commit them.
+bench-check:
+	$(GO) run ./cmd/kondo-bench -exp perf -quick -check .
+	$(GO) run ./cmd/kondo-bench -exp carve -check .
 
 # trace-demo runs a small debloat campaign with tracing on and
 # validates the emitted Chrome trace-event JSON with the kondo-viz

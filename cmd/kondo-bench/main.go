@@ -6,6 +6,7 @@
 //	kondo-bench -exp fig8 -quick     # reduced sizes/repetitions
 //	kondo-bench -list                # available experiment ids
 //	kondo-bench -exp perf -json .    # machine-readable BENCH_perf.json
+//	kondo-bench -exp carve -check .  # gate deterministic metrics vs <dir>/BENCH_carve.json
 package main
 
 import (
@@ -25,16 +26,17 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id, or \"all\"")
-		list    = flag.Bool("list", false, "list available experiments")
-		quick   = flag.Bool("quick", false, "reduced sizes and repetitions")
-		runs    = flag.Int("runs", 0, "override repetition count for Kondo/BF")
-		budget  = flag.Int("budget", 0, "override debloat-test budget")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		workers = flag.Int("workers", 0, "fuzz worker-pool size per campaign (0 = one per CPU)")
-		timeout = flag.Duration("timeout", 0, "overall deadline across all experiments (0 = none)")
-		csvDir  = flag.String("csv", "", "also write each report as <dir>/<exp>.csv")
-		jsonDir = flag.String("json", "", "also write each report as <dir>/BENCH_<exp>.json (table + metrics map)")
+		exp      = flag.String("exp", "", "experiment id, or \"all\"")
+		list     = flag.Bool("list", false, "list available experiments")
+		quick    = flag.Bool("quick", false, "reduced sizes and repetitions")
+		runs     = flag.Int("runs", 0, "override repetition count for Kondo/BF")
+		budget   = flag.Int("budget", 0, "override debloat-test budget")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		workers  = flag.Int("workers", 0, "fuzz worker-pool size per campaign (0 = one per CPU)")
+		timeout  = flag.Duration("timeout", 0, "overall deadline across all experiments (0 = none)")
+		csvDir   = flag.String("csv", "", "also write each report as <dir>/<exp>.csv")
+		jsonDir  = flag.String("json", "", "also write each report as <dir>/BENCH_<exp>.json (table + metrics map)")
+		checkDir = flag.String("check", "", "compare deterministic metrics against <dir>/BENCH_<exp>.json and exit 1 on regression")
 
 		traceOut  = flag.String("trace-out", "", "optional: write a Chrome trace-event JSON of the experiments")
 		logLevel  = flag.String("log-level", "warn", "diagnostic log level: debug, info, warn, error")
@@ -139,6 +141,14 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "kondo-bench: wrote %s\n", path)
+		}
+		if *checkDir != "" {
+			path := filepath.Join(*checkDir, "BENCH_"+id+".json")
+			if err := bench.Check(rep, path); err != nil {
+				fmt.Fprintln(os.Stderr, "kondo-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "kondo-bench: %s metrics match %s\n", id, path)
 		}
 	}
 }

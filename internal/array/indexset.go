@@ -1,16 +1,53 @@
 package array
 
+import (
+	"fmt"
+	"sort"
+)
+
 // IndexSet is a set of indices within one Space. It is the
 // representation of the paper's index subsets: I_v (accesses of one
 // run), IS = ∪ I_v (accumulated fuzz observations), I_Θ (ground
 // truth), and I'_Θ (the carved approximation). Indices are stored by
-// their row-major linear position, which makes membership and set
-// algebra O(1) per element.
+// their row-major linear position.
+//
+// The set is backed by one of two representations and migrates
+// between them based on how it is populated:
+//
+//   - a hash map (the historical backend), optimal for the fuzzer's
+//     scattered point inserts, where membership and insertion are O(1);
+//   - sorted run-length intervals, optimal for the scanline
+//     rasterizer, which emits whole rows at a time: a run of any
+//     length inserts in O(log r) (amortized O(1) when runs arrive in
+//     ascending order), and union/intersection walk run-at-a-time
+//     instead of element-at-a-time.
+//
+// A set starts on the map backend; the first AddRun (or a union with
+// a run-backed set) converts it to runs. The migration is a
+// deterministic function of the operation sequence, and every public
+// operation is representation-independent, so two sets holding the
+// same indices are Equal regardless of backend.
 //
 // IndexSet is not safe for concurrent mutation.
 type IndexSet struct {
 	space Space
-	m     map[int64]struct{}
+	// m is the hash backend; nil when the set is run-backed.
+	m map[int64]struct{}
+	// runs is the interval backend: sorted, pairwise disjoint,
+	// non-adjacent (maximal) inclusive [Lo, Hi] spans.
+	runs []Run
+	// n is the run-backend cardinality (maintained incrementally so
+	// Len stays O(1)).
+	n int64
+	// scratch is a reusable buffer for run-at-a-time unions, retained
+	// across calls so the steady-state union inner loop does not
+	// allocate.
+	scratch []Run
+}
+
+// Run is one inclusive span [Lo, Hi] of row-major linear positions.
+type Run struct {
+	Lo, Hi int64
 }
 
 // NewIndexSet returns an empty set over the given space.
@@ -21,6 +58,35 @@ func NewIndexSet(space Space) *IndexSet {
 // Space returns the index space the set ranges over.
 func (s *IndexSet) Space() Space { return s.space }
 
+// runBacked reports whether the set currently uses the interval
+// backend.
+func (s *IndexSet) runBacked() bool { return s.m == nil }
+
+// toRuns migrates the set from the hash backend to the interval
+// backend: sort the keys, coalesce adjacent positions into runs. The
+// result is canonical, so the migration is deterministic regardless
+// of map iteration order.
+func (s *IndexSet) toRuns() {
+	if s.m == nil {
+		return
+	}
+	lins := make([]int64, 0, len(s.m))
+	for lin := range s.m {
+		lins = append(lins, lin)
+	}
+	sort.Slice(lins, func(i, j int) bool { return lins[i] < lins[j] })
+	s.runs = s.runs[:0]
+	for _, lin := range lins {
+		if k := len(s.runs); k > 0 && s.runs[k-1].Hi+1 == lin {
+			s.runs[k-1].Hi = lin
+		} else {
+			s.runs = append(s.runs, Run{lin, lin})
+		}
+	}
+	s.n = int64(len(lins))
+	s.m = nil
+}
+
 // Add inserts ix into the set. It reports whether the index was newly
 // added (false if already present) and returns an error for indices
 // outside the space.
@@ -29,11 +95,7 @@ func (s *IndexSet) Add(ix Index) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if _, ok := s.m[lin]; ok {
-		return false, nil
-	}
-	s.m[lin] = struct{}{}
-	return true, nil
+	return s.AddLinear(lin), nil
 }
 
 // AddLinear inserts a row-major linear position directly. Callers that
@@ -43,11 +105,90 @@ func (s *IndexSet) AddLinear(lin int64) bool {
 	if lin < 0 || lin >= s.space.Size() {
 		return false
 	}
-	if _, ok := s.m[lin]; ok {
-		return false
+	if s.m != nil {
+		if _, ok := s.m[lin]; ok {
+			return false
+		}
+		s.m[lin] = struct{}{}
+		return true
 	}
-	s.m[lin] = struct{}{}
-	return true
+	return s.addRun(lin, lin) > 0
+}
+
+// AddRun inserts the inclusive span [lo, hi] of linear positions and
+// returns the number of newly added indices. This is the scanline
+// rasterizer's emission primitive: a whole lattice row costs one
+// ordered-interval insertion instead of one hash insert per index.
+// The span must lie inside the space.
+//
+// AddRun migrates a map-backed set to the interval backend first (a
+// deterministic conversion), so sets that interleave point adds and
+// run adds stay consistent.
+func (s *IndexSet) AddRun(lo, hi int64) (int64, error) {
+	if lo > hi || lo < 0 || hi >= s.space.Size() {
+		return 0, fmt.Errorf("array: run [%d, %d] out of range for space of size %d", lo, hi, s.space.Size())
+	}
+	s.toRuns()
+	return s.addRun(lo, hi), nil
+}
+
+// addRun inserts [lo, hi] into the run backend and returns the count
+// of newly covered positions. Appending at or beyond the tail — the
+// scanline emission order — is O(1) amortized.
+func (s *IndexSet) addRun(lo, hi int64) int64 {
+	rs := s.runs
+	if k := len(rs); k == 0 || lo > rs[k-1].Hi+1 {
+		s.runs = append(rs, Run{lo, hi})
+		s.n += hi - lo + 1
+		return hi - lo + 1
+	}
+	if k := len(rs); lo >= rs[k-1].Lo {
+		// Tail overlap/adjacency fast path (ascending emission). Runs
+		// are sorted and disjoint, so only the last run can interact.
+		last := &s.runs[k-1]
+		if hi <= last.Hi {
+			return 0
+		}
+		added := hi - last.Hi
+		last.Hi = hi
+		s.n += added
+		return added
+	}
+	// General case: binary search for the first run that overlaps or
+	// touches [lo, hi], merge the covered range, splice.
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].Hi >= lo-1 })
+	if i == len(rs) || rs[i].Lo > hi+1 {
+		// Fully disjoint: insert at i.
+		rs = append(rs, Run{})
+		copy(rs[i+1:], rs[i:])
+		rs[i] = Run{lo, hi}
+		s.runs = rs
+		s.n += hi - lo + 1
+		return hi - lo + 1
+	}
+	nlo, nhi := lo, hi
+	var covered int64
+	j := i
+	for j < len(rs) && rs[j].Lo <= hi+1 {
+		if rs[j].Lo < nlo {
+			nlo = rs[j].Lo
+		}
+		if rs[j].Hi > nhi {
+			nhi = rs[j].Hi
+		}
+		if olo, ohi := max64(rs[j].Lo, lo), min64(rs[j].Hi, hi); olo <= ohi {
+			covered += ohi - olo + 1
+		}
+		j++
+	}
+	added := (hi - lo + 1) - covered
+	rs[i] = Run{nlo, nhi}
+	if j > i+1 {
+		rs = append(rs[:i+1], rs[j:]...)
+	}
+	s.runs = rs
+	s.n += added
+	return added
 }
 
 // Contains reports whether ix is in the set. Indices outside the space
@@ -57,92 +198,294 @@ func (s *IndexSet) Contains(ix Index) bool {
 	if err != nil {
 		return false
 	}
-	_, ok := s.m[lin]
-	return ok
+	return s.ContainsLinear(lin)
 }
 
 // ContainsLinear reports whether the linear position is in the set.
 func (s *IndexSet) ContainsLinear(lin int64) bool {
-	_, ok := s.m[lin]
-	return ok
+	if s.m != nil {
+		_, ok := s.m[lin]
+		return ok
+	}
+	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].Hi >= lin })
+	return i < len(s.runs) && s.runs[i].Lo <= lin
 }
 
 // Len returns the number of indices in the set.
-func (s *IndexSet) Len() int { return len(s.m) }
+func (s *IndexSet) Len() int {
+	if s.m != nil {
+		return len(s.m)
+	}
+	return int(s.n)
+}
 
 // Empty reports whether the set has no elements. A fuzz seed whose
 // debloat test yields an empty set is a "not useful" parameter value
 // (paper §IV).
-func (s *IndexSet) Empty() bool { return len(s.m) == 0 }
+func (s *IndexSet) Empty() bool { return s.Len() == 0 }
+
+// Reset empties the set while retaining the backend's allocated
+// capacity (map buckets, run and scratch buffers), so refilling it
+// does not re-allocate. The current backend is kept.
+func (s *IndexSet) Reset() {
+	if s.m != nil {
+		clear(s.m)
+	}
+	s.runs = s.runs[:0]
+	s.n = 0
+}
 
 // UnionWith adds every element of o into s. The two sets must range
-// over the same space.
+// over the same space. When both sets are run-backed the union is a
+// single run-at-a-time merge sweep; a run-backed o migrates a
+// map-backed s to runs first.
 func (s *IndexSet) UnionWith(o *IndexSet) {
-	for lin := range o.m {
-		s.m[lin] = struct{}{}
+	switch {
+	case s.m != nil && o.m != nil:
+		for lin := range o.m {
+			s.m[lin] = struct{}{}
+		}
+	case o.m != nil: // s run-backed
+		for lin := range o.m {
+			s.addRun(lin, lin)
+		}
+	default: // o run-backed
+		s.toRuns()
+		s.unionRuns(o.runs, o.n)
 	}
+}
+
+// unionRuns merges the sorted run list other into s's runs with one
+// linear sweep through both lists. The output is built in the
+// retained scratch buffer and the two buffers are swapped, so the
+// steady-state sweep performs no allocations.
+func (s *IndexSet) unionRuns(other []Run, otherN int64) {
+	if len(other) == 0 {
+		return
+	}
+	if len(s.runs) == 0 {
+		s.runs = append(s.runs[:0], other...)
+		s.n = otherN
+		return
+	}
+	a, b := s.runs, other
+	out := s.scratch[:0]
+	var n int64
+	i, j := 0, 0
+	take := func() Run {
+		if j >= len(b) || (i < len(a) && a[i].Lo <= b[j].Lo) {
+			r := a[i]
+			i++
+			return r
+		}
+		r := b[j]
+		j++
+		return r
+	}
+	cur := take()
+	for i < len(a) || j < len(b) {
+		r := take()
+		if r.Lo <= cur.Hi+1 {
+			if r.Hi > cur.Hi {
+				cur.Hi = r.Hi
+			}
+		} else {
+			out = append(out, cur)
+			n += cur.Hi - cur.Lo + 1
+			cur = r
+		}
+	}
+	out = append(out, cur)
+	n += cur.Hi - cur.Lo + 1
+	s.scratch = s.runs[:0]
+	s.runs = out
+	s.n = n
 }
 
 // IntersectLen returns |s ∩ o| without materializing the
 // intersection. Precision and recall only need this cardinality.
+// Run-backed pairs overlap run-at-a-time with a two-pointer walk;
+// mixed pairs probe the hash side's elements against the run side.
 func (s *IndexSet) IntersectLen(o *IndexSet) int {
-	small, big := s, o
-	if big.Len() < small.Len() {
-		small, big = big, small
-	}
-	n := 0
-	for lin := range small.m {
-		if _, ok := big.m[lin]; ok {
-			n++
+	switch {
+	case s.m != nil && o.m != nil:
+		small, big := s, o
+		if big.Len() < small.Len() {
+			small, big = big, small
 		}
+		n := 0
+		for lin := range small.m {
+			if _, ok := big.m[lin]; ok {
+				n++
+			}
+		}
+		return n
+	case s.m == nil && o.m == nil:
+		var n int64
+		a, b := s.runs, o.runs
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			if lo, hi := max64(a[i].Lo, b[j].Lo), min64(a[i].Hi, b[j].Hi); lo <= hi {
+				n += hi - lo + 1
+			}
+			if a[i].Hi < b[j].Hi {
+				i++
+			} else {
+				j++
+			}
+		}
+		return int(n)
+	default:
+		mapped, runned := s, o
+		if mapped.m == nil {
+			mapped, runned = o, s
+		}
+		n := 0
+		for lin := range mapped.m {
+			if runned.ContainsLinear(lin) {
+				n++
+			}
+		}
+		return n
 	}
-	return n
 }
 
-// Each calls fn for every index in the set, in unspecified order,
-// stopping early if fn returns false. The Index passed to fn is fresh
-// per call and may be retained.
+// Each calls fn for every index in the set, stopping early if fn
+// returns false. A run-backed set is visited in ascending row-major
+// order; a map-backed set in unspecified order. The Index passed to
+// fn is fresh per call and may be retained.
 func (s *IndexSet) Each(fn func(Index) bool) {
-	for lin := range s.m {
+	s.EachLinear(func(lin int64) bool {
 		ix, err := s.space.Unlinear(lin)
 		if err != nil {
-			continue // unreachable by construction
+			return true // unreachable by construction
 		}
-		if !fn(ix) {
-			return
-		}
-	}
+		return fn(ix)
+	})
 }
 
 // EachLinear calls fn for every linear position in the set, stopping
-// early if fn returns false.
+// early if fn returns false. Visit order matches Each.
 func (s *IndexSet) EachLinear(fn func(int64) bool) {
-	for lin := range s.m {
-		if !fn(lin) {
-			return
+	if s.m != nil {
+		for lin := range s.m {
+			if !fn(lin) {
+				return
+			}
+		}
+		return
+	}
+	for _, r := range s.runs {
+		for lin := r.Lo; lin <= r.Hi; lin++ {
+			if !fn(lin) {
+				return
+			}
 		}
 	}
 }
 
-// Clone returns a deep copy of the set.
-func (s *IndexSet) Clone() *IndexSet {
-	c := NewIndexSet(s.space)
-	for lin := range s.m {
-		c.m[lin] = struct{}{}
+// EachRun calls fn for every maximal run of consecutive linear
+// positions in ascending order, stopping early if fn returns false.
+// On a run-backed set this is a direct O(r) walk; a map-backed set
+// sorts a copy of its elements first (allocating).
+func (s *IndexSet) EachRun(fn func(lo, hi int64) bool) {
+	if s.m == nil {
+		for _, r := range s.runs {
+			if !fn(r.Lo, r.Hi) {
+				return
+			}
+		}
+		return
 	}
+	lins := make([]int64, 0, len(s.m))
+	for lin := range s.m {
+		lins = append(lins, lin)
+	}
+	sort.Slice(lins, func(i, j int) bool { return lins[i] < lins[j] })
+	for i := 0; i < len(lins); {
+		j := i + 1
+		for j < len(lins) && lins[j] == lins[j-1]+1 {
+			j++
+		}
+		if !fn(lins[i], lins[j-1]) {
+			return
+		}
+		i = j
+	}
+}
+
+// RunCount returns the number of maximal runs the set stores: the
+// interval count for a run-backed set, or the element count for a
+// map-backed one (each element its own run in the worst case). It is
+// a fragmentation measure, not part of the set semantics.
+func (s *IndexSet) RunCount() int {
+	if s.m != nil {
+		return len(s.m)
+	}
+	return len(s.runs)
+}
+
+// Clone returns a deep copy of the set (on the same backend).
+func (s *IndexSet) Clone() *IndexSet {
+	c := &IndexSet{space: s.space}
+	if s.m != nil {
+		c.m = make(map[int64]struct{}, len(s.m))
+		for lin := range s.m {
+			c.m[lin] = struct{}{}
+		}
+		return c
+	}
+	c.runs = append([]Run(nil), s.runs...)
+	c.n = s.n
 	return c
 }
 
 // Equal reports whether two sets over the same space hold exactly the
-// same indices.
+// same indices, regardless of backend.
 func (s *IndexSet) Equal(o *IndexSet) bool {
 	if s.Len() != o.Len() {
 		return false
 	}
-	for lin := range s.m {
-		if _, ok := o.m[lin]; !ok {
-			return false
+	switch {
+	case s.m != nil && o.m != nil:
+		for lin := range s.m {
+			if _, ok := o.m[lin]; !ok {
+				return false
+			}
 		}
+		return true
+	case s.m == nil && o.m == nil:
+		// Both canonical run lists: equal sets iff equal runs.
+		for i, r := range s.runs {
+			if o.runs[i] != r {
+				return false
+			}
+		}
+		return true
+	default:
+		mapped, runned := s, o
+		if mapped.m == nil {
+			mapped, runned = o, s
+		}
+		for lin := range mapped.m {
+			if !runned.ContainsLinear(lin) {
+				return false
+			}
+		}
+		return true
 	}
-	return true
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -1,0 +1,360 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddRunBasics(t *testing.T) {
+	s := NewIndexSet(MustSpace(10, 10))
+	added, err := s.AddRun(5, 9)
+	if err != nil || added != 5 {
+		t.Fatalf("AddRun(5,9) = %d, %v; want 5, nil", added, err)
+	}
+	if !s.runBacked() {
+		t.Fatal("AddRun should migrate the set to the run backend")
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	// Overlapping re-add covers nothing new.
+	if added, _ := s.AddRun(5, 9); added != 0 {
+		t.Fatalf("duplicate AddRun added %d", added)
+	}
+	// Partial overlap counts only the fresh positions.
+	if added, _ := s.AddRun(7, 12); added != 3 {
+		t.Fatalf("overlapping AddRun added %d, want 3", added)
+	}
+	// Adjacent runs coalesce.
+	if added, _ := s.AddRun(13, 13); added != 1 {
+		t.Fatal("adjacent AddRun")
+	}
+	if s.RunCount() != 1 {
+		t.Fatalf("adjacent runs did not coalesce: %d runs", s.RunCount())
+	}
+	for lin := int64(5); lin <= 13; lin++ {
+		if !s.ContainsLinear(lin) {
+			t.Fatalf("missing %d", lin)
+		}
+	}
+	if s.ContainsLinear(4) || s.ContainsLinear(14) {
+		t.Fatal("contains out-of-run position")
+	}
+	// Range errors.
+	if _, err := s.AddRun(9, 5); err == nil {
+		t.Error("inverted run should error")
+	}
+	if _, err := s.AddRun(-1, 3); err == nil {
+		t.Error("negative run should error")
+	}
+	if _, err := s.AddRun(90, 100); err == nil {
+		t.Error("out-of-space run should error")
+	}
+}
+
+func TestAddRunMergesAcrossExistingRuns(t *testing.T) {
+	s := NewIndexSet(MustSpace(100))
+	for _, r := range [][2]int64{{0, 2}, {10, 12}, {20, 22}, {40, 42}} {
+		if _, err := s.AddRun(r[0], r[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bridge the middle three groups in one insert.
+	added, err := s.AddRun(5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 26-6 {
+		t.Fatalf("bridging AddRun added %d", added)
+	}
+	if s.RunCount() != 3 {
+		t.Fatalf("want 3 runs after bridge, got %d", s.RunCount())
+	}
+	if s.Len() != 3+26+3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestAddLinearOnRunBackend(t *testing.T) {
+	s := NewIndexSet(MustSpace(50))
+	if _, err := s.AddRun(10, 12); err != nil {
+		t.Fatal(err)
+	}
+	if !s.AddLinear(13) {
+		t.Fatal("AddLinear adjacent should add")
+	}
+	if s.AddLinear(11) {
+		t.Fatal("AddLinear inside run should report false")
+	}
+	if s.AddLinear(50) || s.AddLinear(-1) {
+		t.Fatal("out-of-range AddLinear should report false")
+	}
+	if s.RunCount() != 1 || s.Len() != 4 {
+		t.Fatalf("runs=%d len=%d", s.RunCount(), s.Len())
+	}
+}
+
+func TestMapToRunMigrationKeepsContent(t *testing.T) {
+	s := NewIndexSet(MustSpace(8, 8))
+	for _, lin := range []int64{3, 4, 5, 17, 40, 41} {
+		s.AddLinear(lin)
+	}
+	if s.runBacked() {
+		t.Fatal("point adds should stay on the map backend")
+	}
+	before := s.Clone()
+	if _, err := s.AddRun(20, 25); err != nil {
+		t.Fatal(err)
+	}
+	if !s.runBacked() {
+		t.Fatal("AddRun should migrate")
+	}
+	if s.Len() != before.Len()+6 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	before.EachLinear(func(lin int64) bool {
+		if !s.ContainsLinear(lin) {
+			t.Fatalf("migration lost %d", lin)
+		}
+		return true
+	})
+}
+
+// applyOps drives the same random operation sequence into a set,
+// returning it. forceRuns front-loads an empty AddRun-migration so
+// the set takes the interval backend from the start.
+func applyOps(sp Space, ops []func(*IndexSet), forceRuns bool) *IndexSet {
+	s := NewIndexSet(sp)
+	if forceRuns {
+		s.toRuns()
+	}
+	for _, op := range ops {
+		op(s)
+	}
+	return s
+}
+
+// TestBackendEquivalence cross-checks the interval backend against the
+// map backend: the same sequence of Add/AddLinear/AddRun/UnionWith/
+// Reset operations must yield sets that are Equal (both directions),
+// agree on Len/Contains/IntersectLen, enumerate the same elements,
+// and Clone into equal sets.
+func TestBackendEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sp := MustSpace(16, 16)
+	size := sp.Size()
+	for trial := 0; trial < 200; trial++ {
+		var ops []func(*IndexSet)
+		for n := 0; n < 2+rng.Intn(12); n++ {
+			switch rng.Intn(4) {
+			case 0:
+				lin := rng.Int63n(size)
+				ops = append(ops, func(s *IndexSet) { s.AddLinear(lin) })
+			case 1:
+				ix := NewIndex(rng.Intn(16), rng.Intn(16))
+				ops = append(ops, func(s *IndexSet) { s.Add(ix) })
+			case 2:
+				lo := rng.Int63n(size)
+				hi := lo + rng.Int63n(size-lo)
+				ops = append(ops, func(s *IndexSet) { s.AddRun(lo, hi) })
+			case 3:
+				// Union with a small set on a random backend.
+				other := NewIndexSet(sp)
+				if rng.Intn(2) == 0 {
+					other.toRuns()
+				}
+				for k := 0; k < rng.Intn(5); k++ {
+					other.AddLinear(rng.Int63n(size))
+				}
+				if rng.Intn(3) == 0 {
+					lo := rng.Int63n(size)
+					other.AddRun(lo, lo+rng.Int63n(size-lo))
+				}
+				ops = append(ops, func(s *IndexSet) { s.UnionWith(other) })
+			}
+		}
+		runs := applyOps(sp, ops, true)
+		maps := applyOps(sp, ops, false)
+
+		if runs.Len() != maps.Len() {
+			t.Fatalf("trial %d: Len %d (runs) vs %d (map)", trial, runs.Len(), maps.Len())
+		}
+		if !runs.Equal(maps) || !maps.Equal(runs) {
+			t.Fatalf("trial %d: backends disagree on Equal", trial)
+		}
+		for lin := int64(0); lin < size; lin++ {
+			if runs.ContainsLinear(lin) != maps.ContainsLinear(lin) {
+				t.Fatalf("trial %d: ContainsLinear(%d) disagrees", trial, lin)
+			}
+		}
+		// Enumeration parity (Each order is unspecified; compare sets).
+		got := map[int64]bool{}
+		runs.EachLinear(func(lin int64) bool { got[lin] = true; return true })
+		maps.EachLinear(func(lin int64) bool {
+			if !got[lin] {
+				t.Fatalf("trial %d: runs enumeration missed %d", trial, lin)
+			}
+			delete(got, lin)
+			return true
+		})
+		if len(got) != 0 {
+			t.Fatalf("trial %d: runs enumerated %d extra elements", trial, len(got))
+		}
+		// Each yields valid tuples matching EachLinear.
+		count := 0
+		runs.Each(func(ix Index) bool {
+			if !runs.Contains(ix) {
+				t.Fatalf("trial %d: Each yielded non-member %v", trial, ix)
+			}
+			count++
+			return true
+		})
+		if count != runs.Len() {
+			t.Fatalf("trial %d: Each visited %d of %d", trial, count, runs.Len())
+		}
+		// Cross-backend set algebra.
+		if n := runs.IntersectLen(maps); n != runs.Len() {
+			t.Fatalf("trial %d: self-intersection via mixed backends = %d, want %d", trial, n, runs.Len())
+		}
+		if !runs.Clone().Equal(maps) || !maps.Clone().Equal(runs) {
+			t.Fatalf("trial %d: Clone broke equivalence", trial)
+		}
+		// EachRun parity: coalesced spans must agree.
+		var rr, mr [][2]int64
+		runs.EachRun(func(lo, hi int64) bool { rr = append(rr, [2]int64{lo, hi}); return true })
+		maps.EachRun(func(lo, hi int64) bool { mr = append(mr, [2]int64{lo, hi}); return true })
+		if len(rr) != len(mr) {
+			t.Fatalf("trial %d: EachRun %d vs %d spans", trial, len(rr), len(mr))
+		}
+		for i := range rr {
+			if rr[i] != mr[i] {
+				t.Fatalf("trial %d: EachRun span %d: %v vs %v", trial, i, rr[i], mr[i])
+			}
+		}
+	}
+}
+
+func TestRunBackendUnionIntersect(t *testing.T) {
+	sp := MustSpace(40)
+	a := NewIndexSet(sp)
+	b := NewIndexSet(sp)
+	a.AddRun(0, 9)
+	a.AddRun(20, 29)
+	b.AddRun(5, 24)
+	if n := a.IntersectLen(b); n != 10 {
+		t.Fatalf("IntersectLen = %d, want 10", n)
+	}
+	if n := b.IntersectLen(a); n != 10 {
+		t.Fatalf("IntersectLen not symmetric: %d", n)
+	}
+	u := a.Clone()
+	u.UnionWith(b)
+	if u.Len() != 30 || u.RunCount() != 1 {
+		t.Fatalf("union len=%d runs=%d, want 30, 1", u.Len(), u.RunCount())
+	}
+	if a.Len() != 20 || b.Len() != 20 {
+		t.Fatal("union mutated its inputs")
+	}
+}
+
+func TestResetRetainsBackendAndCapacity(t *testing.T) {
+	s := NewIndexSet(MustSpace(100))
+	s.AddRun(0, 10)
+	s.AddRun(50, 60)
+	s.Reset()
+	if !s.Empty() || s.Len() != 0 || !s.runBacked() {
+		t.Fatal("Reset should empty the set and keep the backend")
+	}
+	if s.ContainsLinear(5) {
+		t.Fatal("Reset left stale membership")
+	}
+	m := NewIndexSet(MustSpace(100))
+	m.AddLinear(3)
+	m.Reset()
+	if !m.Empty() || m.runBacked() {
+		t.Fatal("map-backed Reset should stay map-backed and empty")
+	}
+}
+
+// The scanline rasterizer's emission loop — ascending AddRun calls
+// into a warm set — must not allocate per run.
+func TestAddRunEmissionZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting is skipped in -short (race) runs")
+	}
+	s := NewIndexSet(MustSpace(1 << 20))
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reset()
+		for i := int64(0); i < 512; i++ {
+			s.AddRun(i*100, i*100+60)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AddRun emission loop allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// Run-backed union must reach a zero-allocation steady state: the
+// sweep reuses the set's retained scratch buffer.
+func TestUnionRunsZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting is skipped in -short (race) runs")
+	}
+	sp := MustSpace(1 << 20)
+	o := NewIndexSet(sp)
+	for i := int64(0); i < 256; i++ {
+		o.AddRun(i*1000, i*1000+400)
+	}
+	s := NewIndexSet(sp)
+	s.toRuns()
+	seed := NewIndexSet(sp)
+	for i := int64(0); i < 256; i++ {
+		seed.AddRun(i*1000+500, i*1000+600)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reset()
+		s.UnionWith(seed)
+		s.UnionWith(o)
+	})
+	if allocs != 0 {
+		t.Fatalf("run union allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func BenchmarkAddRunAscending(b *testing.B) {
+	s := NewIndexSet(MustSpace(1 << 30))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		for r := int64(0); r < 1024; r++ {
+			s.AddRun(r*2048, r*2048+1024)
+		}
+	}
+}
+
+func BenchmarkAddLinearMap(b *testing.B) {
+	s := NewIndexSet(MustSpace(1 << 30))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		for r := int64(0); r < 1024; r++ {
+			s.AddLinear(r * 7919)
+		}
+	}
+}
+
+func BenchmarkUnionRuns(b *testing.B) {
+	sp := MustSpace(1 << 30)
+	o := NewIndexSet(sp)
+	for i := int64(0); i < 4096; i++ {
+		o.AddRun(i*1000, i*1000+400)
+	}
+	s := NewIndexSet(sp)
+	s.toRuns()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		s.UnionWith(o)
+	}
+}

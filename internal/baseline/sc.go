@@ -45,7 +45,7 @@ func SimpleConvex(ctx context.Context, p workload.Program, cfg fuzz.Config) (*SC
 	if err != nil {
 		return nil, err
 	}
-	approx, err := h.Rasterize(p.Space())
+	approx, err := h.RasterizeContext(ctx, p.Space())
 	if err != nil {
 		return nil, err
 	}

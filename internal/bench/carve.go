@@ -131,19 +131,32 @@ func Carve(ctx context.Context, opts Options) (*Report, error) {
 		strips = append(strips, h)
 	}
 	serialStart := time.Now()
-	serial, err := carve.RasterizeContext(ctx, strips, space, 1)
+	serial, rst, err := carve.RasterizeStats(ctx, strips, space, 1)
 	if err != nil {
 		return nil, err
 	}
 	serialTime := time.Since(serialStart)
 	parStart := time.Now()
-	par, err := carve.RasterizeContext(ctx, strips, space, opts.Workers)
+	par, _, err := carve.RasterizeStats(ctx, strips, space, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
 	parTime := time.Since(parStart)
-	if serial.Len() != par.Len() {
+	if !serial.Equal(par) {
 		return nil, fmt.Errorf("carve: parallel rasterization kept %d indices, serial kept %d", par.Len(), serial.Len())
+	}
+	// The retained bbox-scan reference doubles as the equivalence oracle
+	// and the baseline for the point-test-reduction headline.
+	reference, refSt, err := hull.RasterizeReference(ctx, strips, space)
+	if err != nil {
+		return nil, err
+	}
+	if !serial.Equal(reference) {
+		return nil, fmt.Errorf("carve: scanline rasterization kept %d indices, bbox-scan reference kept %d", serial.Len(), reference.Len())
+	}
+	pointReduction := 0.0
+	if rst.PointTests > 0 {
+		pointReduction = float64(refSt.PointTests) / float64(rst.PointTests)
 	}
 	rasterSpeedup := 0.0
 	if parTime > 0 {
@@ -153,32 +166,43 @@ func Carve(ctx context.Context, opts Options) (*Report, error) {
 	if rasterWorkers <= 0 {
 		rasterWorkers = runtime.GOMAXPROCS(0)
 	}
+	// RasterizeAllStats never runs more workers than hulls; report the
+	// count actually used, not the requested one.
+	if rasterWorkers > len(strips) {
+		rasterWorkers = len(strips)
+	}
 
 	rep := &Report{
 		Columns: []string{"metric", "value"},
 		Metrics: map[string]float64{
-			"points":                 float64(set.Len()),
-			"initial_hulls":          float64(st.InitialHulls),
-			"final_hulls":            float64(st.FinalHulls),
-			"merges":                 float64(st.Merges),
-			"merge_passes":           float64(st.MergePasses),
-			"pair_tests":             float64(st.PairTests),
-			"prune_hits":             float64(st.PruneHits),
-			"naive_pair_bound":       float64(naiveBound),
-			"pair_test_reduction":    pairReduction,
-			"engine_seconds":         engineTime.Seconds(),
-			"naive_seconds":          naiveTime.Seconds(),
-			"carve_speedup":          speedup,
-			"raster_serial_seconds":  serialTime.Seconds(),
-			"raster_workers_seconds": parTime.Seconds(),
-			"raster_speedup":         rasterSpeedup,
-			"raster_workers":         float64(rasterWorkers),
-			"rasterized_indices":     float64(serial.Len()),
+			"points":                  float64(set.Len()),
+			"initial_hulls":           float64(st.InitialHulls),
+			"final_hulls":             float64(st.FinalHulls),
+			"merges":                  float64(st.Merges),
+			"merge_passes":            float64(st.MergePasses),
+			"pair_tests":              float64(st.PairTests),
+			"prune_hits":              float64(st.PruneHits),
+			"naive_pair_bound":        float64(naiveBound),
+			"pair_test_reduction":     pairReduction,
+			"engine_seconds":          engineTime.Seconds(),
+			"naive_seconds":           naiveTime.Seconds(),
+			"carve_speedup":           speedup,
+			"raster_serial_seconds":   serialTime.Seconds(),
+			"raster_workers_seconds":  parTime.Seconds(),
+			"raster_speedup":          rasterSpeedup,
+			"raster_workers":          float64(rasterWorkers),
+			"rasterized_indices":      float64(serial.Len()),
+			"raster_rows":             float64(rst.Rows),
+			"raster_runs":             float64(rst.Runs),
+			"raster_point_tests":      float64(rst.PointTests),
+			"raster_point_tests_bbox": float64(refSt.PointTests),
+			"raster_point_reduction":  pointReduction,
 		},
 		Notes: []string{
 			fmt.Sprintf("blob field on %s: %d points -> %d cell hulls -> %d merged hulls", space, set.Len(), st.InitialHulls, st.FinalHulls),
 			"engine and naive reference produced bit-identical hull sets",
-			fmt.Sprintf("rasterization timed over %d thin diagonal strips (bbox-scan worst case) with %d workers; raster_speedup ~ 1 is expected on a single-CPU machine", len(strips), rasterWorkers),
+			fmt.Sprintf("rasterization timed over %d thin diagonal strips (bbox-scan worst case) using %d worker(s); raster_speedup ~ 1 is expected on a single-CPU machine", len(strips), rasterWorkers),
+			"scanline output verified bit-identical to the point-by-point bbox-scan reference",
 			"wall-clock metrics (*_seconds, *_speedup) are machine-dependent; counts are deterministic",
 		},
 	}
@@ -188,6 +212,8 @@ func Carve(ctx context.Context, opts Options) (*Report, error) {
 		"engine_seconds", "naive_seconds", "carve_speedup",
 		"raster_serial_seconds", "raster_workers_seconds", "raster_speedup", "raster_workers",
 		"rasterized_indices",
+		"raster_rows", "raster_runs", "raster_point_tests", "raster_point_tests_bbox",
+		"raster_point_reduction",
 	} {
 		rep.Rows = append(rep.Rows, []string{m, fmtF(rep.Metrics[m])})
 	}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// metricClass says how the regression gate compares one metric against
+// its committed baseline.
+type metricClass int
+
+const (
+	// classExempt skips the metric: wall-clock and machine-dependent
+	// values (seconds, speedups, worker counts) vary run to run.
+	classExempt metricClass = iota
+	// classExact requires the fresh value to equal the baseline (within
+	// float formatting tolerance). Used for deterministic structural
+	// counts: changing one means the algorithm's output changed.
+	classExact
+	// classLowerBetter fails when the fresh value grows beyond the
+	// baseline: a cost counter regressed.
+	classLowerBetter
+	// classHigherBetter fails when the fresh value drops below the
+	// baseline: an efficiency headline regressed.
+	classHigherBetter
+)
+
+// checkTol is the relative tolerance for the gate's comparisons. The
+// gated metrics are deterministic counts and their ratios, so the
+// tolerance only has to absorb float formatting, not run-to-run noise.
+const checkTol = 1e-6
+
+// checkedExperiments classifies every metric of the experiments the
+// regression gate covers (`kondo-bench -check`, `make bench-check`).
+// Metrics not listed here are exempt; baselines must be regenerated
+// with `make bench-json` whenever an intentional change shifts a gated
+// metric.
+var checkedExperiments = map[string]map[string]metricClass{
+	"carve": {
+		"points":                  classExact,
+		"initial_hulls":           classExact,
+		"final_hulls":             classExact,
+		"merges":                  classExact,
+		"merge_passes":            classExact,
+		"prune_hits":              classExact,
+		"naive_pair_bound":        classExact,
+		"rasterized_indices":      classExact,
+		"raster_rows":             classExact,
+		"raster_runs":             classExact,
+		"raster_point_tests_bbox": classExact,
+		"pair_tests":              classLowerBetter,
+		"raster_point_tests":      classLowerBetter,
+		"pair_test_reduction":     classHigherBetter,
+		"raster_point_reduction":  classHigherBetter,
+		"engine_seconds":          classExempt,
+		"naive_seconds":           classExempt,
+		"carve_speedup":           classExempt,
+		"raster_serial_seconds":   classExempt,
+		"raster_workers_seconds":  classExempt,
+		"raster_speedup":          classExempt,
+		"raster_workers":          classExempt,
+	},
+	"perf": {
+		"evaluations":          classExact,
+		"hulls":                classExact,
+		"merge_passes":         classExact,
+		"kept_indices":         classExact,
+		"space_size":           classExact,
+		"original_bytes":       classExact,
+		"bytes_kept":           classExact,
+		"recovery_round_trips": classExact,
+		"hull_shrinkage":       classHigherBetter,
+		"reduction":            classHigherBetter,
+		"precision":            classHigherBetter,
+		"recall":               classHigherBetter,
+		"saturation":           classHigherBetter,
+		"waste_ratio":          classLowerBetter,
+		"evals_per_sec":        classExempt,
+		"fuzz_seconds":         classExempt,
+		"carve_seconds":        classExempt,
+		"write_seconds":        classExempt,
+	},
+}
+
+// Check compares a freshly produced report against the committed
+// baseline JSON at baselinePath and returns an error describing every
+// gated metric that regressed. Wall-clock metrics are exempt; the
+// gated ones are deterministic counts (and their ratios), so any drift
+// is a real behavior change, not noise. Intentional changes are
+// accepted by regenerating the baseline with `make bench-json`.
+func Check(rep *Report, baselinePath string) error {
+	classes, ok := checkedExperiments[rep.ID]
+	if !ok {
+		return fmt.Errorf("bench: experiment %q has no regression gate", rep.ID)
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench: reading baseline: %w (regenerate with `make bench-json`)", err)
+	}
+	var base struct {
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("bench: parsing baseline %s: %w", baselinePath, err)
+	}
+
+	names := make([]string, 0, len(classes))
+	for name := range classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		class := classes[name]
+		if class == classExempt {
+			continue
+		}
+		got, inRep := rep.Metrics[name]
+		want, inBase := base.Metrics[name]
+		switch {
+		case !inRep:
+			failures = append(failures, fmt.Sprintf("%s: missing from the fresh report", name))
+			continue
+		case !inBase:
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline %s (regenerate with `make bench-json`)", name, baselinePath))
+			continue
+		}
+		tol := checkTol * math.Max(math.Abs(want), 1)
+		switch class {
+		case classExact:
+			if math.Abs(got-want) > tol {
+				failures = append(failures, fmt.Sprintf("%s: %v, baseline %v (exact metric changed)", name, got, want))
+			}
+		case classLowerBetter:
+			if got > want+tol {
+				failures = append(failures, fmt.Sprintf("%s: %v, baseline %v (cost counter regressed)", name, got, want))
+			}
+		case classHigherBetter:
+			if got < want-tol {
+				failures = append(failures, fmt.Sprintf("%s: %v, baseline %v (headline regressed)", name, got, want))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: %s regressed vs %s:\n  %s\nif the change is intentional, regenerate baselines with `make bench-json`",
+			rep.ID, baselinePath, strings.Join(failures, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, metrics string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_carve.json")
+	doc := `{"id":"carve","title":"t","columns":["metric","value"],"rows":[],"metrics":` + metrics + `}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func carveReport(metrics map[string]float64) *Report {
+	return &Report{ID: "carve", Metrics: metrics}
+}
+
+// fullMetrics returns a metric set covering every gated carve metric.
+func fullMetrics() map[string]float64 {
+	m := map[string]float64{}
+	for name := range checkedExperiments["carve"] {
+		m[name] = 100
+	}
+	return m
+}
+
+func metricsJSON(m map[string]float64) string {
+	b, _ := json.Marshal(m)
+	return string(b)
+}
+
+func TestCheckPassesOnIdenticalMetrics(t *testing.T) {
+	m := fullMetrics()
+	path := writeBaseline(t, metricsJSON(m))
+	if err := Check(carveReport(m), path); err != nil {
+		t.Fatalf("identical metrics should pass: %v", err)
+	}
+}
+
+func TestCheckFailsOnExactDrift(t *testing.T) {
+	m := fullMetrics()
+	path := writeBaseline(t, metricsJSON(m))
+	fresh := fullMetrics()
+	fresh["raster_runs"] = 101 // exact metric changed
+	err := Check(carveReport(fresh), path)
+	if err == nil || !strings.Contains(err.Error(), "raster_runs") {
+		t.Fatalf("want raster_runs failure, got %v", err)
+	}
+}
+
+func TestCheckDirectionalMetrics(t *testing.T) {
+	m := fullMetrics()
+	path := writeBaseline(t, metricsJSON(m))
+
+	// A cost counter growing fails; shrinking passes.
+	worse := fullMetrics()
+	worse["raster_point_tests"] = 150
+	if err := Check(carveReport(worse), path); err == nil {
+		t.Fatal("raster_point_tests regression should fail")
+	}
+	better := fullMetrics()
+	better["raster_point_tests"] = 50
+	if err := Check(carveReport(better), path); err != nil {
+		t.Fatalf("raster_point_tests improvement should pass: %v", err)
+	}
+
+	// A headline dropping fails; rising passes.
+	worse = fullMetrics()
+	worse["raster_point_reduction"] = 50
+	if err := Check(carveReport(worse), path); err == nil {
+		t.Fatal("raster_point_reduction regression should fail")
+	}
+	better = fullMetrics()
+	better["raster_point_reduction"] = 200
+	if err := Check(carveReport(better), path); err != nil {
+		t.Fatalf("raster_point_reduction improvement should pass: %v", err)
+	}
+}
+
+func TestCheckWallClockExempt(t *testing.T) {
+	m := fullMetrics()
+	path := writeBaseline(t, metricsJSON(m))
+	fresh := fullMetrics()
+	fresh["engine_seconds"] = 10000
+	fresh["raster_speedup"] = 0.001
+	fresh["raster_workers"] = 64
+	if err := Check(carveReport(fresh), path); err != nil {
+		t.Fatalf("wall-clock drift must be exempt: %v", err)
+	}
+}
+
+func TestCheckMissingBaselineMetric(t *testing.T) {
+	m := fullMetrics()
+	delete(m, "raster_rows")
+	path := writeBaseline(t, metricsJSON(m))
+	err := Check(carveReport(fullMetrics()), path)
+	if err == nil || !strings.Contains(err.Error(), "bench-json") {
+		t.Fatalf("stale baseline should point at make bench-json, got %v", err)
+	}
+}
+
+func TestCheckUnknownExperiment(t *testing.T) {
+	if err := Check(&Report{ID: "fig7"}, "/nonexistent"); err == nil {
+		t.Fatal("ungated experiment should error")
+	}
+}
+
+func TestCheckMissingBaselineFile(t *testing.T) {
+	err := Check(carveReport(fullMetrics()), filepath.Join(t.TempDir(), "nope.json"))
+	if err == nil || !strings.Contains(err.Error(), "bench-json") {
+		t.Fatalf("missing baseline should point at make bench-json, got %v", err)
+	}
+}

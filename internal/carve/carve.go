@@ -393,3 +393,10 @@ func Rasterize(hulls []*hull.Hull, space array.Space) (*array.IndexSet, error) {
 func RasterizeContext(ctx context.Context, hulls []*hull.Hull, space array.Space, workers int) (*array.IndexSet, error) {
 	return hull.RasterizeAllContext(ctx, hulls, space, workers)
 }
+
+// RasterizeStats is RasterizeContext also returning the scanline work
+// counters (rows, point tests, emitted runs) — the deterministic
+// metrics the bench regression gate tracks.
+func RasterizeStats(ctx context.Context, hulls []*hull.Hull, space array.Space, workers int) (*array.IndexSet, hull.RasterStats, error) {
+	return hull.RasterizeAllStats(ctx, hulls, space, workers)
+}

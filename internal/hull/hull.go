@@ -2,6 +2,7 @@ package hull
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Hull is the convex hull of a set of d-dimensional points, stored as
@@ -26,8 +28,15 @@ type Hull struct {
 
 	// faces is the halfspace description for 3D hulls; nil when the
 	// vertices are affinely degenerate (then Contains uses the LP).
-	faces      []halfspace
-	facesBuilt bool
+	// It is built lazily under facesOnce so concurrent Contains /
+	// rasterization calls on a shared hull are race-free.
+	facesOnce sync.Once
+	faces     []halfspace
+
+	// clip is the lazily built scanline clipper (scanline.go), also
+	// guarded for concurrent rasterization.
+	clipOnce sync.Once
+	clip     *scanClipper
 }
 
 // New builds the convex hull of the given points. At least one point
@@ -118,7 +127,8 @@ func (h *Hull) Centroid() geom.Point { return h.cent }
 // BBox returns the hull's axis-aligned bounding box.
 func (h *Hull) BBox() geom.Box { return h.bbox }
 
-// Contains reports whether p lies inside or on the hull.
+// Contains reports whether p lies inside or on the hull. It is safe
+// for concurrent use.
 func (h *Hull) Contains(p geom.Point) bool {
 	if p.Dim() != h.dim {
 		return false
@@ -143,12 +153,15 @@ func (h *Hull) Contains(p geom.Point) bool {
 	}
 }
 
-// faceCache lazily builds the 3D halfspace description.
+// faceCache builds the 3D halfspace description at most once. The
+// sync.Once guard makes concurrent first calls (parallel
+// rasterization workers sharing a hull) race-free.
 func (h *Hull) faceCache() []halfspace {
-	if !h.facesBuilt {
-		h.faces = facesFromVertices(h.verts)
-		h.facesBuilt = true
-	}
+	h.facesOnce.Do(func() {
+		if h.dim == 3 {
+			h.faces = facesFromVertices(h.verts)
+		}
+	})
 	return h.faces
 }
 
@@ -180,27 +193,61 @@ func (h *Hull) BoundaryDist(o *Hull) float64 {
 	return best
 }
 
+// RasterStats counts the work one rasterization performed. All fields
+// are deterministic functions of the hulls and the space — per-hull
+// counts are independent of worker scheduling, and the totals are
+// sums over hulls — so they serve as regression-gate metrics
+// (`make bench-check`).
+type RasterStats struct {
+	// Hulls is the number of hulls rasterized.
+	Hulls int64
+	// Rows is the number of lattice rows visited (for a scanline hull,
+	// one per row of its clipped bbox; the point-by-point fallback
+	// counts its rows the same way).
+	Rows int64
+	// PointTests is the number of exact point-membership tests
+	// performed: endpoint refinements on the scanline path, every
+	// lattice point on the fallback path. The bbox scan this replaces
+	// tested every point of every hull's clipped bbox.
+	PointTests int64
+	// Runs is the number of index runs emitted into the result set.
+	Runs int64
+}
+
+// add accumulates o into s.
+func (s *RasterStats) add(o RasterStats) {
+	s.Hulls += o.Hulls
+	s.Rows += o.Rows
+	s.PointTests += o.PointTests
+	s.Runs += o.Runs
+}
+
 // Rasterize collects every integer index of the space that lies inside
 // the hull. This converts the carver's hull set back into the
-// approximated index subset I'_Θ.
+// approximated index subset I'_Θ. It cannot be canceled; use
+// RasterizeContext when walking large lattices.
 func (h *Hull) Rasterize(space array.Space) (*array.IndexSet, error) {
-	if space.Rank() != h.dim {
-		return nil, fmt.Errorf("hull: rasterize %dD hull over rank-%d space", h.dim, space.Rank())
+	return h.RasterizeContext(context.Background(), space)
+}
+
+// RasterizeContext is Rasterize with cancellation: a canceled context
+// stops the lattice walk mid-hull and returns the context's error.
+func (h *Hull) RasterizeContext(ctx context.Context, space array.Space) (*array.IndexSet, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	set := array.NewIndexSet(space)
-	if err := h.rasterizeInto(nil, space, set); err != nil {
+	var st RasterStats
+	if err := h.rasterizeInto(ctx, space, set, &st); err != nil {
 		return nil, err
 	}
 	return set, nil
 }
 
-// rasterizeInto adds the hull's covered indices to an existing set.
-// A non-nil context is checked periodically so a canceled caller stops
-// a large lattice walk mid-hull.
-func (h *Hull) rasterizeInto(ctx context.Context, space array.Space, set *array.IndexSet) error {
-	// Iterate only the integer lattice inside bbox ∩ space.
-	lo := make([]int, h.dim)
-	hi := make([]int, h.dim)
+// clipToSpace intersects the hull's bbox with the space's lattice,
+// returning per-dimension inclusive bounds and ok=false when the hull
+// lies entirely outside the space.
+func (h *Hull) clipToSpace(space array.Space, lo, hi []int) bool {
 	for k := 0; k < h.dim; k++ {
 		lo[k] = int(math.Ceil(h.bbox.Min[k] - geom.Eps))
 		hi[k] = int(math.Floor(h.bbox.Max[k] + geom.Eps))
@@ -211,29 +258,92 @@ func (h *Hull) rasterizeInto(ctx context.Context, space array.Space, set *array.
 			hi[k] = space.Dim(k) - 1
 		}
 		if lo[k] > hi[k] {
-			return nil // hull entirely outside the space
+			return false
 		}
 	}
-	cur := append([]int(nil), lo...)
-	p := make(geom.Point, h.dim)
-	ix := make(array.Index, h.dim)
-	visited := 0
+	return true
+}
+
+// rasterizeInto adds the hull's covered indices to an existing set
+// using scanline rasterization: for each lattice row (all coordinates
+// fixed but the innermost) the row's membership interval is clipped
+// against the hull's constraint description in O(faces), its
+// endpoints are refined with the exact Contains test, and the whole
+// run is emitted at once. Hulls without a constraint description
+// (1–2 vertices, degenerate 3-D, dimensions other than 2/3) fall back
+// to the point-by-point scan. The context is checked periodically so
+// a canceled caller stops a large lattice walk mid-hull.
+func (h *Hull) rasterizeInto(ctx context.Context, space array.Space, set *array.IndexSet, st *RasterStats) error {
+	if space.Rank() != h.dim {
+		return fmt.Errorf("hull: rasterize %dD hull over rank-%d space", h.dim, space.Rank())
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	st.Hulls++
+	lo := make([]int, h.dim)
+	hi := make([]int, h.dim)
+	if !h.clipToSpace(space, lo, hi) {
+		return nil // hull entirely outside the space
+	}
+	cl := h.clipper()
+	if !cl.ok {
+		return h.rasterizePointwise(ctx, space, set, lo, hi, st)
+	}
+
+	d := h.dim
+	// Row-major strides: the innermost dimension has stride 1, so a
+	// row's covered interval is one contiguous linear run.
+	strides := make([]int64, d)
+	strides[d-1] = 1
+	for k := d - 2; k >= 0; k-- {
+		strides[k] = strides[k+1] * int64(space.Dim(k+1))
+	}
+	cur := append([]int(nil), lo[:d-1]...)
+	row := make([]float64, d-1)
+	probe := make(geom.Point, d)
+	rowLo, rowHi := int64(lo[d-1]), int64(hi[d-1])
 	for {
-		if visited++; ctx != nil && visited%4096 == 0 {
+		if st.Rows++; st.Rows%256 == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		for k := 0; k < h.dim; k++ {
-			p[k] = float64(cur[k])
-			ix[k] = cur[k]
+		var base int64
+		for k := 0; k < d-1; k++ {
+			row[k] = float64(cur[k])
+			probe[k] = row[k]
+			base += int64(cur[k]) * strides[k]
 		}
-		if h.Contains(p) {
-			if _, err := set.Add(ix); err != nil {
-				return err
+		if rlo, rhi, ok := cl.rowInterval(row, rowLo, rowHi); ok {
+			// Refine the conservative interval's endpoints with the
+			// exact membership test. The row's true membership set is
+			// an interval (scanline.go), so the refined run is
+			// bit-identical to testing every lattice point.
+			for rlo <= rhi {
+				probe[d-1] = float64(rlo)
+				st.PointTests++
+				if h.Contains(probe) {
+					break
+				}
+				rlo++
+			}
+			if rlo <= rhi {
+				for rhi > rlo {
+					probe[d-1] = float64(rhi)
+					st.PointTests++
+					if h.Contains(probe) {
+						break
+					}
+					rhi--
+				}
+				if _, err := set.AddRun(base+rlo, base+rhi); err != nil {
+					return err
+				}
+				st.Runs++
 			}
 		}
-		k := h.dim - 1
+		k := d - 2
 		for k >= 0 {
 			cur[k]++
 			if cur[k] <= hi[k] {
@@ -246,6 +356,74 @@ func (h *Hull) rasterizeInto(ctx context.Context, space array.Space, set *array.
 			return nil
 		}
 	}
+}
+
+// rasterizePointwise is the retained point-by-point reference: it
+// tests every lattice point of the clipped bbox against Contains.
+// Degenerate hulls use it directly, and RasterizeReference exposes it
+// as the oracle the scanline path is property-tested against.
+func (h *Hull) rasterizePointwise(ctx context.Context, space array.Space, set *array.IndexSet, lo, hi []int, st *RasterStats) error {
+	cur := append([]int(nil), lo...)
+	p := make(geom.Point, h.dim)
+	ix := make(array.Index, h.dim)
+	last := h.dim - 1
+	for {
+		if cur[last] == lo[last] {
+			if st.Rows++; st.Rows%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+		}
+		for k := 0; k < h.dim; k++ {
+			p[k] = float64(cur[k])
+			ix[k] = cur[k]
+		}
+		st.PointTests++
+		if h.Contains(p) {
+			if _, err := set.Add(ix); err != nil {
+				return err
+			}
+		}
+		k := last
+		for k >= 0 {
+			cur[k]++
+			if cur[k] <= hi[k] {
+				break
+			}
+			cur[k] = lo[k]
+			k--
+		}
+		if k < 0 {
+			return nil
+		}
+	}
+}
+
+// RasterizeReference rasterizes hulls with the point-by-point bbox
+// scan — the pre-scanline algorithm, kept as the equivalence oracle
+// and as the bench baseline for the point-test reduction headline.
+func RasterizeReference(ctx context.Context, hulls []*Hull, space array.Space) (*array.IndexSet, RasterStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var st RasterStats
+	set := array.NewIndexSet(space)
+	lo := make([]int, space.Rank())
+	hi := make([]int, space.Rank())
+	for _, h := range hulls {
+		if space.Rank() != h.dim {
+			return nil, st, fmt.Errorf("hull: rasterize %dD hull over rank-%d space", h.dim, space.Rank())
+		}
+		st.Hulls++
+		if !h.clipToSpace(space, lo, hi) {
+			continue
+		}
+		if err := h.rasterizePointwise(ctx, space, set, lo, hi, &st); err != nil {
+			return nil, st, err
+		}
+	}
+	return set, st, nil
 }
 
 // RasterizeAll rasterizes a set of hulls into one index set (the union
@@ -261,6 +439,21 @@ func RasterizeAll(hulls []*Hull, space array.Space) (*array.IndexSet, error) {
 // commutative, so the result is bit-identical at any worker count. A
 // canceled context stops the walk and returns the context's error.
 func RasterizeAllContext(ctx context.Context, hulls []*Hull, space array.Space, workers int) (*array.IndexSet, error) {
+	set, _, err := RasterizeAllStats(ctx, hulls, space, workers)
+	return set, err
+}
+
+// RasterizeAllStats is RasterizeAllContext also returning the
+// scanline work counters. When the context carries a metrics registry
+// the counters are published as kondo_raster_* instruments. On error
+// the stats cover the work performed before the stop.
+//
+// A failing hull (error or cancellation) stops the whole
+// rasterization promptly: the shared first-error signal keeps the
+// remaining workers from draining the hull list, and an internal
+// cancellation aborts their in-flight lattice walks.
+func RasterizeAllStats(ctx context.Context, hulls []*Hull, space array.Space, workers int) (*array.IndexSet, RasterStats, error) {
+	var st RasterStats
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -273,14 +466,19 @@ func RasterizeAllContext(ctx context.Context, hulls []*Hull, space array.Space, 
 	if workers <= 1 {
 		set := array.NewIndexSet(space)
 		for _, h := range hulls {
-			if err := h.rasterizeInto(ctx, space, set); err != nil {
-				return nil, err
+			if err := h.rasterizeInto(ctx, space, set, &st); err != nil {
+				return nil, st, err
 			}
 		}
-		return set, nil
+		publishRasterStats(ctx, st)
+		return set, st, nil
 	}
+	rctx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
 	sets := make([]*array.IndexSet, workers)
+	stats := make([]RasterStats, workers)
 	errs := make([]error, workers)
+	var failed atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -291,22 +489,28 @@ func RasterizeAllContext(ctx context.Context, hulls []*Hull, space array.Space, 
 			sets[w] = set
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(hulls) || errs[w] != nil {
+				if i >= len(hulls) || failed.Load() {
 					return
 				}
-				errs[w] = hulls[i].rasterizeInto(ctx, space, set)
+				if err := hulls[i].rasterizeInto(rctx, space, set, &stats[w]); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					stopWorkers() // abort the other workers' in-flight walks
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	for _, ws := range stats {
+		st.add(ws)
 	}
-	// Union into the largest per-worker set so the (map-insert-bound)
-	// merge re-inserts as few indices as possible. Union is commutative,
-	// so the result is still worker-count independent.
+	if err := firstRasterError(ctx, errs); err != nil {
+		return nil, st, err
+	}
+	// Union into the largest per-worker set so the merge re-inserts as
+	// few indices as possible. Union is commutative, so the result is
+	// still worker-count independent.
 	out := sets[0]
 	for _, set := range sets[1:] {
 		if set.Len() > out.Len() {
@@ -318,5 +522,41 @@ func RasterizeAllContext(ctx context.Context, hulls []*Hull, space array.Space, 
 			out.UnionWith(set)
 		}
 	}
-	return out, nil
+	publishRasterStats(ctx, st)
+	return out, st, nil
+}
+
+// firstRasterError picks the error to report: a worker's own failure
+// wins over the context cancellations it induced in its peers, and an
+// outer-context cancellation is reported as such.
+func firstRasterError(ctx context.Context, errs []error) error {
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return err
+	}
+	if ctxErr == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return ctxErr
+}
+
+// publishRasterStats records the counters in the context's metrics
+// registry (a no-op without one).
+func publishRasterStats(ctx context.Context, st RasterStats) {
+	reg := obs.RegistryOf(ctx)
+	reg.Counter("kondo_raster_rows_total").Add(st.Rows)
+	reg.Counter("kondo_raster_point_tests_total").Add(st.PointTests)
+	reg.Counter("kondo_raster_runs_total").Add(st.Runs)
 }
