@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench-quick bench-json bench-check lint-prints lint-metrics-docs trace-demo
+.PHONY: build test race vet verify bench-quick bench-json bench-check lint-prints lint-metrics-docs trace-demo orchestra-demo
 
 build:
 	$(GO) build ./...
@@ -59,26 +59,39 @@ bench-quick:
 
 # bench-json regenerates the machine-readable perf trajectory points
 # in the repo root: BENCH_perf.json (evals/s, hull count, waste ratio,
-# bytes kept, recovery round-trips for one end-to-end pipeline) and
+# bytes kept, recovery round-trips for one end-to-end pipeline),
 # BENCH_carve.json (merge-engine pair-test reduction and speedup over
-# the naive reference on a many-hull field).
+# the naive reference on a many-hull field), and BENCH_orchestra.json
+# (distributed-campaign throughput vs worker count, lease re-issue
+# overhead, and digest bit-identity with the local baseline).
 bench-json:
 	$(GO) run ./cmd/kondo-bench -exp perf -quick -json .
 	$(GO) run ./cmd/kondo-bench -exp carve -json .
+	$(GO) run ./cmd/kondo-bench -exp orchestra -quick -json .
 
 # bench-check re-runs the gated experiments with the same flags as
 # bench-json and fails when any deterministic count metric regresses
 # against the committed BENCH_*.json baselines (wall-clock metrics are
-# exempt). After an intentional behavior change, regenerate the
-# baselines with `make bench-json` and commit them.
+# exempt); every regressed metric of every experiment is listed before
+# the non-zero exit. After an intentional behavior change, regenerate
+# the baselines with `make bench-json` and commit them.
 bench-check:
 	$(GO) run ./cmd/kondo-bench -exp perf -quick -check .
 	$(GO) run ./cmd/kondo-bench -exp carve -check .
+	$(GO) run ./cmd/kondo-bench -exp orchestra -quick -check .
 
 # trace-demo runs a small debloat campaign with tracing on and
 # validates the emitted Chrome trace-event JSON with the kondo-viz
 # schema checker. Open the file in https://ui.perfetto.dev to see the
 # fuzz/carve/write phases and the per-worker lanes.
+# orchestra-demo runs the distributed campaign orchestrator end to end
+# over loopback: a kondo-coord coordinator plus two kondo-worker
+# evaluator processes (one crashing mid-lease to exercise re-issue),
+# then asserts the distributed result digest is bit-identical to an
+# in-process `kondo-coord -local` run of the same campaign.
+orchestra-demo:
+	./scripts/orchestra-demo.sh
+
 TRACE_DEMO_OUT ?= trace-demo.json
 trace-demo:
 	$(GO) run ./cmd/sdfgen -out trace-demo-data.sdf -dims 128x128 -dtype float64 -chunk 16x16

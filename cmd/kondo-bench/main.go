@@ -100,6 +100,7 @@ func main() {
 	if *exp == "all" {
 		ids = bench.Experiments()
 	}
+	var checkFailed []string
 	for _, id := range ids {
 		start := time.Now()
 		sp := obs.Start(ctx, "bench.experiment")
@@ -143,12 +144,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "kondo-bench: wrote %s\n", path)
 		}
 		if *checkDir != "" {
+			// Keep checking the remaining experiments on failure so one
+			// run reports the complete regression picture; each failed
+			// gate prints its full aligned metric diff.
 			path := filepath.Join(*checkDir, "BENCH_"+id+".json")
 			if err := bench.Check(rep, path); err != nil {
 				fmt.Fprintln(os.Stderr, "kondo-bench:", err)
-				os.Exit(1)
+				checkFailed = append(checkFailed, id)
+			} else {
+				fmt.Fprintf(os.Stderr, "kondo-bench: %s metrics match %s\n", id, path)
 			}
-			fmt.Fprintf(os.Stderr, "kondo-bench: %s metrics match %s\n", id, path)
 		}
+	}
+	if len(checkFailed) > 0 {
+		fmt.Fprintf(os.Stderr, "kondo-bench: regression gate failed: %s\n", strings.Join(checkFailed, ", "))
+		os.Exit(1)
 	}
 }

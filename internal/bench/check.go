@@ -84,14 +84,96 @@ var checkedExperiments = map[string]map[string]metricClass{
 		"carve_seconds":        classExempt,
 		"write_seconds":        classExempt,
 	},
+	"orchestra": {
+		"evaluations":           classExact,
+		"indices":               classExact,
+		"digest_matches":        classExact,
+		"digest_runs":           classExact,
+		"reissued_leases":       classExact,
+		"late_results":          classExempt,
+		"evals_per_sec_1":       classExempt,
+		"evals_per_sec_2":       classExempt,
+		"evals_per_sec_4":       classExempt,
+		"reissue_evals_per_sec": classExempt,
+	},
+}
+
+// CheckFailure is one gated metric that failed the regression gate.
+type CheckFailure struct {
+	// Metric is the metric name within the experiment.
+	Metric string
+	// Got and Baseline are the fresh and committed values. NaN marks a
+	// side that was missing entirely.
+	Got, Baseline float64
+	// Reason classifies the failure for the rendered diff.
+	Reason string
+}
+
+// CheckError is the regression gate's verdict for one experiment: the
+// complete list of gated metrics that regressed, not just the first.
+// Its Error rendering is an aligned metric/got/baseline diff so a CI
+// log shows the whole regression at a glance.
+type CheckError struct {
+	// Experiment is the report id that was gated.
+	Experiment string
+	// Baseline is the path of the committed baseline JSON.
+	Baseline string
+	// Failures lists every regressed metric in name order.
+	Failures []CheckFailure
+}
+
+// Error renders the aligned diff.
+func (e *CheckError) Error() string {
+	fmtVal := func(v float64) string {
+		if math.IsNaN(v) {
+			return "(missing)"
+		}
+		return fmtGateVal(v)
+	}
+	rows := make([][3]string, 0, len(e.Failures))
+	wName, wGot, wBase := len("metric"), len("fresh"), len("baseline")
+	for _, f := range e.Failures {
+		r := [3]string{f.Metric, fmtVal(f.Got), fmtVal(f.Baseline)}
+		rows = append(rows, r)
+		if len(r[0]) > wName {
+			wName = len(r[0])
+		}
+		if len(r[1]) > wGot {
+			wGot = len(r[1])
+		}
+		if len(r[2]) > wBase {
+			wBase = len(r[2])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench: %s: %d gated metric(s) regressed vs %s:\n",
+		e.Experiment, len(e.Failures), e.Baseline)
+	fmt.Fprintf(&b, "  %-*s  %*s  %*s\n", wName, "metric", wGot, "fresh", wBase, "baseline")
+	for i, f := range e.Failures {
+		r := rows[i]
+		fmt.Fprintf(&b, "  %-*s  %*s  %*s  %s\n", wName, r[0], wGot, r[1], wBase, r[2], f.Reason)
+	}
+	b.WriteString("if the change is intentional, regenerate baselines with `make bench-json`")
+	return b.String()
+}
+
+// fmtGateVal formats a gate value the way Report.JSON would, trimming
+// trailing zeros so counts print as integers.
+func fmtGateVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
 }
 
 // Check compares a freshly produced report against the committed
-// baseline JSON at baselinePath and returns an error describing every
-// gated metric that regressed. Wall-clock metrics are exempt; the
-// gated ones are deterministic counts (and their ratios), so any drift
-// is a real behavior change, not noise. Intentional changes are
-// accepted by regenerating the baseline with `make bench-json`.
+// baseline JSON at baselinePath. On regression it returns a
+// *CheckError listing every gated metric that failed — callers can
+// aggregate errors across experiments before exiting. Wall-clock
+// metrics are exempt; the gated ones are deterministic counts (and
+// their ratios), so any drift is a real behavior change, not noise.
+// Intentional changes are accepted by regenerating the baseline with
+// `make bench-json`.
 func Check(rep *Report, baselinePath string) error {
 	classes, ok := checkedExperiments[rep.ID]
 	if !ok {
@@ -113,7 +195,7 @@ func Check(rep *Report, baselinePath string) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var failures []string
+	cerr := &CheckError{Experiment: rep.ID, Baseline: baselinePath}
 	for _, name := range names {
 		class := classes[name]
 		if class == classExempt {
@@ -123,31 +205,40 @@ func Check(rep *Report, baselinePath string) error {
 		want, inBase := base.Metrics[name]
 		switch {
 		case !inRep:
-			failures = append(failures, fmt.Sprintf("%s: missing from the fresh report", name))
+			cerr.Failures = append(cerr.Failures, CheckFailure{
+				Metric: name, Got: math.NaN(), Baseline: want,
+				Reason: "missing from the fresh report"})
 			continue
 		case !inBase:
-			failures = append(failures, fmt.Sprintf("%s: missing from baseline %s (regenerate with `make bench-json`)", name, baselinePath))
+			cerr.Failures = append(cerr.Failures, CheckFailure{
+				Metric: name, Got: got, Baseline: math.NaN(),
+				Reason: "missing from the baseline"})
 			continue
 		}
 		tol := checkTol * math.Max(math.Abs(want), 1)
 		switch class {
 		case classExact:
 			if math.Abs(got-want) > tol {
-				failures = append(failures, fmt.Sprintf("%s: %v, baseline %v (exact metric changed)", name, got, want))
+				cerr.Failures = append(cerr.Failures, CheckFailure{
+					Metric: name, Got: got, Baseline: want,
+					Reason: "exact metric changed"})
 			}
 		case classLowerBetter:
 			if got > want+tol {
-				failures = append(failures, fmt.Sprintf("%s: %v, baseline %v (cost counter regressed)", name, got, want))
+				cerr.Failures = append(cerr.Failures, CheckFailure{
+					Metric: name, Got: got, Baseline: want,
+					Reason: "cost counter regressed"})
 			}
 		case classHigherBetter:
 			if got < want-tol {
-				failures = append(failures, fmt.Sprintf("%s: %v, baseline %v (headline regressed)", name, got, want))
+				cerr.Failures = append(cerr.Failures, CheckFailure{
+					Metric: name, Got: got, Baseline: want,
+					Reason: "headline regressed"})
 			}
 		}
 	}
-	if len(failures) > 0 {
-		return fmt.Errorf("bench: %s regressed vs %s:\n  %s\nif the change is intentional, regenerate baselines with `make bench-json`",
-			rep.ID, baselinePath, strings.Join(failures, "\n  "))
+	if len(cerr.Failures) > 0 {
+		return cerr
 	}
 	return nil
 }

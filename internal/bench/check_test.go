@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -116,5 +117,39 @@ func TestCheckMissingBaselineFile(t *testing.T) {
 	err := Check(carveReport(fullMetrics()), filepath.Join(t.TempDir(), "nope.json"))
 	if err == nil || !strings.Contains(err.Error(), "bench-json") {
 		t.Fatalf("missing baseline should point at make bench-json, got %v", err)
+	}
+}
+
+// TestCheckListsEveryFailure pins the gate's aggregated diff: when
+// several metrics regress at once the error is a *CheckError naming
+// all of them with their baselines, not just the first mismatch.
+func TestCheckListsEveryFailure(t *testing.T) {
+	m := fullMetrics()
+	path := writeBaseline(t, metricsJSON(m))
+	fresh := fullMetrics()
+	fresh["raster_runs"] = 101        // exact drift
+	fresh["pair_tests"] = 150         // cost regression
+	fresh["pair_test_reduction"] = 50 // headline regression
+	delete(fresh, "merges")           // missing from the fresh report
+
+	err := Check(carveReport(fresh), path)
+	if err == nil {
+		t.Fatal("multi-metric regression should fail")
+	}
+	var cerr *CheckError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("want *CheckError, got %T", err)
+	}
+	if len(cerr.Failures) != 4 {
+		t.Fatalf("want 4 failures, got %d: %v", len(cerr.Failures), cerr.Failures)
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"raster_runs", "pair_tests", "pair_test_reduction", "merges",
+		"baseline", "fresh", "101", "150", "(missing)", "bench-json",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diff missing %q:\n%s", want, msg)
+		}
 	}
 }

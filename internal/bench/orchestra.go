@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/fuzz"
+	"repro/internal/obs"
+	"repro/internal/orchestra"
+)
+
+// Orchestra measures the distributed campaign orchestrator over
+// loopback TCP: evaluation throughput against the number of connected
+// workers, the overhead of a worker dying mid-campaign (its lease
+// re-issued), and — the headline — that every distributed run's result
+// digest is bit-identical to the in-process baseline. The digest and
+// count metrics are gated exactly; a drift means the distribution
+// seam leaked into the campaign's decisions.
+func Orchestra(ctx context.Context, opts Options) (*Report, error) {
+	spec := orchestra.Spec{Program: "CS2", Dims: []int{opts.Size2D, opts.Size2D}}
+	params, space, err := orchestra.ParamsForSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := orchestra.EvaluatorForSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	mkCfg := func() fuzz.Config {
+		cfg := fuzz.DefaultConfig()
+		cfg.Seed = opts.Seed
+		cfg.MaxEvals = opts.EvalBudget
+		return cfg
+	}
+
+	// In-process baseline: the digest every distributed run must match.
+	f, err := fuzz.New(params, space, eval, mkCfg())
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	base, err := f.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	baseElapsed := time.Since(t0)
+	baseDigest := orchestra.Digest(base)
+
+	rep := &Report{
+		Columns: []string{"setup", "workers", "evals", "seconds", "evals/s", "reissued", "digest=local"},
+		Metrics: map[string]float64{
+			"evaluations": float64(base.Evaluations),
+			"indices":     float64(base.Indices.Len()),
+		},
+	}
+	addRow := func(setup string, workers int, res *fuzz.Result, elapsed time.Duration, reissued int64, match bool) {
+		eps := float64(res.Evaluations) / elapsed.Seconds()
+		rep.Rows = append(rep.Rows, []string{
+			setup, fmt.Sprintf("%d", workers), fmt.Sprintf("%d", res.Evaluations),
+			fmt.Sprintf("%.3f", elapsed.Seconds()), fmt.Sprintf("%.0f", eps),
+			fmt.Sprintf("%d", reissued), fmt.Sprintf("%v", match),
+		})
+	}
+	addRow("local pool", base.Workers, base, baseElapsed, 0, true)
+
+	counts := []int{1, 2, 4}
+	if opts.Quick {
+		counts = []int{1, 2}
+	}
+	digestRuns, digestMatches := 0, 0
+	var reissuedTotal, lateTotal int64
+
+	// distributed runs one campaign through a loopback coordinator with
+	// the given workers (one optionally crashing after two leases) and
+	// returns the result plus the run's lease-churn counters.
+	distributed := func(workers int, withCrash bool) (*fuzz.Result, time.Duration, int64, int64, error) {
+		reg := obs.NewRegistry()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		coord := orchestra.NewCoordinator(orchestra.Config{
+			SpanSeeds:  4,
+			WorkerWait: time.Minute,
+			Registry:   reg,
+		})
+		runCtx, cancel := context.WithCancel(ctx)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = coord.Serve(runCtx, ln)
+		}()
+		startWorker := func(maxLeases int) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := &orchestra.Worker{Addr: ln.Addr().String(), MaxLeases: maxLeases}
+				_ = w.Run(runCtx)
+			}()
+		}
+		for i := 0; i < workers; i++ {
+			startWorker(0)
+		}
+		if withCrash {
+			startWorker(2)
+		}
+		t0 := time.Now()
+		res, err := coord.RunCampaign(runCtx, orchestra.Campaign{ID: "bench", Spec: spec, Fuzz: mkCfg()})
+		elapsed := time.Since(t0)
+		cancel()
+		wg.Wait()
+		reissued := reg.Counter("kondo_orchestra_leases_reissued_total").Value()
+		late := reg.Counter("kondo_orchestra_late_results_total").Value()
+		return res, elapsed, reissued, late, err
+	}
+
+	for _, n := range counts {
+		res, elapsed, reissued, late, err := distributed(n, false)
+		if err != nil {
+			return nil, fmt.Errorf("orchestra %d-worker run: %w", n, err)
+		}
+		match := orchestra.Digest(res) == baseDigest
+		digestRuns++
+		if match {
+			digestMatches++
+		}
+		reissuedTotal += reissued
+		lateTotal += late
+		addRow("distributed", n, res, elapsed, reissued, match)
+		rep.Metrics[fmt.Sprintf("evals_per_sec_%d", n)] = float64(res.Evaluations) / elapsed.Seconds()
+	}
+
+	// Worker-death run: two healthy workers plus one that crashes while
+	// holding its third lease, forcing exactly one re-issue.
+	res, elapsed, reissued, late, err := distributed(2, true)
+	if err != nil {
+		return nil, fmt.Errorf("orchestra worker-death run: %w", err)
+	}
+	match := orchestra.Digest(res) == baseDigest
+	digestRuns++
+	if match {
+		digestMatches++
+	}
+	reissuedTotal += reissued
+	lateTotal += late
+	addRow("worker death", 3, res, elapsed, reissued, match)
+	rep.Metrics["reissue_evals_per_sec"] = float64(res.Evaluations) / elapsed.Seconds()
+
+	rep.Metrics["digest_runs"] = float64(digestRuns)
+	rep.Metrics["digest_matches"] = float64(digestMatches)
+	rep.Metrics["reissued_leases"] = float64(reissuedTotal)
+	rep.Metrics["late_results"] = float64(lateTotal)
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("every distributed digest must equal the local baseline (%d/%d matched)", digestMatches, digestRuns),
+		"the worker-death run crashes one worker mid-lease; the coordinator re-issues its lease and the digest is unaffected",
+	)
+	return rep, nil
+}

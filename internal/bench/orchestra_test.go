@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestOrchestraMetricsContract pins the distributed-campaign
+// experiment's machine-readable surface: every distributed run's
+// digest matches the in-process baseline, and the worker-death run
+// re-issued exactly the lease the crashed worker was holding.
+func TestOrchestraMetricsContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up loopback coordinators; skipped in -short")
+	}
+	rep, err := Run(context.Background(), "orchestra", QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"evaluations", "indices", "digest_runs", "digest_matches",
+		"reissued_leases", "late_results",
+	} {
+		if _, ok := rep.Metrics[key]; !ok {
+			t.Errorf("metric %q missing", key)
+		}
+	}
+	if rep.Metrics["digest_runs"] < 3 {
+		t.Errorf("only %v distributed runs compared", rep.Metrics["digest_runs"])
+	}
+	if rep.Metrics["digest_matches"] != rep.Metrics["digest_runs"] {
+		t.Errorf("digest mismatch: %v of %v distributed runs matched the local baseline",
+			rep.Metrics["digest_matches"], rep.Metrics["digest_runs"])
+	}
+	if rep.Metrics["reissued_leases"] != 1 {
+		t.Errorf("worker-death run re-issued %v leases, want exactly 1",
+			rep.Metrics["reissued_leases"])
+	}
+	if rep.Metrics["evaluations"] != float64(QuickOptions().EvalBudget) {
+		t.Errorf("campaign ran %v evaluations, want the full %d budget",
+			rep.Metrics["evaluations"], QuickOptions().EvalBudget)
+	}
+}

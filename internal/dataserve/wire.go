@@ -24,68 +24,42 @@ package dataserve
 
 import (
 	"encoding/binary"
-	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
-)
 
-// frameMagic opens every binary value frame.
-const frameMagic = "KDB1"
+	"repro/internal/wire"
+)
 
 // frameHeaderSize is the fixed frame prefix: magic (4) | count u32 |
 // crc32 u32 of the value payload.
-const frameHeaderSize = 12
+const frameHeaderSize = wire.HeaderSize
 
-// maxFrameVals bounds how many values a frame may claim, protecting
-// the client from allocating on a corrupt or hostile count field.
-// 1<<26 float64s = 512 MiB, far above any serving chunk.
-const maxFrameVals = 1 << 26
+// frameCodec is the value-frame framing, shared with the other binary
+// protocols through internal/wire. The magic is "KDB1"; the count
+// field counts float64 values; the 1<<26-value limit (512 MiB) bounds
+// what a corrupt or hostile count field can make the client allocate,
+// far above any serving chunk.
+var frameCodec = wire.Codec{Magic: "KDB1", UnitSize: 8, MaxCount: 1 << 26}
 
 // encodeFrame renders values as a binary frame.
 func encodeFrame(vals []float64) []byte {
-	buf := make([]byte, frameHeaderSize+8*len(vals))
-	copy(buf, frameMagic)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(vals)))
-	payload := buf[frameHeaderSize:]
+	payload := make([]byte, 8*len(vals))
 	for i, v := range vals {
 		binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(v))
 	}
-	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(payload))
-	return buf
+	return frameCodec.Encode(payload)
 }
 
 // decodeFrame reads one frame from r, expecting exactly wantVals
-// values (wantVals < 0 accepts any count within maxFrameVals). It
+// values (wantVals < 0 accepts any count within the codec limit). It
 // fails on short reads, bad magic, count mismatches, trailing bytes,
 // and checksum mismatches.
 func decodeFrame(r io.Reader, wantVals int64) ([]float64, error) {
-	header := make([]byte, frameHeaderSize)
-	if _, err := io.ReadFull(r, header); err != nil {
-		return nil, fmt.Errorf("dataserve: truncated frame header: %w", err)
+	payload, err := frameCodec.DecodeAll(r, wantVals)
+	if err != nil {
+		return nil, err
 	}
-	if string(header[:4]) != frameMagic {
-		return nil, fmt.Errorf("dataserve: bad frame magic %q", header[:4])
-	}
-	count := int64(binary.LittleEndian.Uint32(header[4:]))
-	wantCRC := binary.LittleEndian.Uint32(header[8:])
-	if count > maxFrameVals {
-		return nil, fmt.Errorf("dataserve: frame claims %d values (limit %d)", count, maxFrameVals)
-	}
-	if wantVals >= 0 && count != wantVals {
-		return nil, fmt.Errorf("dataserve: frame carries %d values, want %d", count, wantVals)
-	}
-	payload := make([]byte, 8*count)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("dataserve: truncated frame payload: %w", err)
-	}
-	if extra, _ := io.Copy(io.Discard, io.LimitReader(r, 1)); extra != 0 {
-		return nil, fmt.Errorf("dataserve: trailing bytes after %d-value frame", count)
-	}
-	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
-		return nil, fmt.Errorf("dataserve: frame checksum mismatch (got %08x, want %08x)", got, wantCRC)
-	}
-	vals := make([]float64, count)
+	vals := make([]float64, len(payload)/8)
 	for i := range vals {
 		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
 	}

@@ -7,8 +7,6 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/array"
@@ -133,7 +131,10 @@ func New(params workload.ParamSpace, space array.Space, eval Evaluator, cfg Conf
 	if len(params) == 0 {
 		return nil, fmt.Errorf("fuzz: empty parameter space")
 	}
-	if eval == nil {
+	// A campaign with an external batch runner (e.g. an orchestra
+	// coordinator leasing batches to remote workers) never calls a
+	// local evaluator; one is required otherwise.
+	if eval == nil && cfg.Runner == nil {
 		return nil, fmt.Errorf("fuzz: nil evaluator")
 	}
 	return &Fuzzer{cfg: cfg, params: params, space: space, eval: eval}, nil
@@ -146,14 +147,6 @@ func ForProgram(p workload.Program, cfg Config) (*Fuzzer, error) {
 		return workload.RunOnVirtual(p, v)
 	}
 	return New(p.Params(), p.Space(), eval, cfg)
-}
-
-// evalOut is one worker's verdict for one batch slot.
-type evalOut struct {
-	iv      *array.IndexSet
-	err     error
-	dur     time.Duration
-	skipped bool // canceled before the evaluator ran
 }
 
 // Run executes the fuzz schedule (Alg. 1) and returns the accumulated
@@ -179,6 +172,10 @@ func (f *Fuzzer) Run(ctx context.Context) (*Result, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	runner := cfg.Runner
+	if runner == nil {
+		runner = &PoolRunner{Eval: f.eval, Workers: workers}
 	}
 	batchSize := cfg.BatchSize
 	if batchSize <= 0 {
@@ -320,39 +317,49 @@ loop:
 		if roundSpan != nil {
 			roundSpan.Arg("batch", res.Batches).Arg("seeds", len(batch))
 		}
-		outs := f.evalBatch(ctx, workers, batch)
+		outs, rerr := runner.RunBatch(ctx, batch)
 		roundSpan.End()
+		if rerr == nil && len(outs) != len(batch) {
+			rerr = fmt.Errorf("fuzz: runner returned %d outcomes for a %d-seed batch", len(outs), len(batch))
+		}
+		if rerr != nil {
+			// A runner error is infrastructure-level (a dead transport,
+			// no workers to lease to), not a failing debloat test: the
+			// campaign cannot make progress, so surface it.
+			return nil, fmt.Errorf("fuzz: batch %d failed: %w", res.Batches, rerr)
+		}
 
 		// Merge in seed order. Only this sequential phase touches the
 		// RNG, the clusters, and the accumulated state, so the outcome
-		// is independent of how the pool interleaved the evaluations.
+		// is independent of how the runner interleaved (or distributed)
+		// the evaluations.
 		for i, v := range batch {
 			out := outs[i]
-			if out.skipped {
+			if out.Skipped {
 				stop = StopCanceled
 				break loop
 			}
 			itr++
 			res.Iterations = itr
-			res.EvalWall += out.dur
-			if out.err != nil {
+			res.EvalWall += out.Dur
+			if out.Err != nil {
 				res.Failures = append(res.Failures, EvalFailure{
 					V:   append([]float64(nil), v...),
-					Err: out.err,
+					Err: out.Err,
 				})
 				idleIters++
 				mFailed.Inc()
 			} else {
 				res.Evaluations++
 				mEvals.Inc()
-				useful := !out.iv.Empty()
+				useful := !out.Indices.Empty()
 
 				// Fold the eval's indices in one at a time so newly
 				// covered indices can feed the coverage tracker and the
 				// witness map. Each index is added at most once, so the
 				// result is independent of the set's iteration order.
 				added := 0
-				out.iv.Each(func(ix array.Index) bool {
+				out.Indices.Each(func(ix array.Index) bool {
 					ok, err := res.Indices.Add(ix)
 					if err != nil || !ok {
 						return true
@@ -431,57 +438,6 @@ loop:
 			len(res.Failures), first.V, first.Err)
 	}
 	return res, nil
-}
-
-// evalBatch evaluates one batch through the worker pool, returning
-// per-slot outcomes aligned with the batch. With a single worker the
-// batch runs inline on the calling goroutine, preserving the
-// sequential campaign's execution environment exactly.
-func (f *Fuzzer) evalBatch(ctx context.Context, workers int, batch [][]float64) []evalOut {
-	outs := make([]evalOut, len(batch))
-	if workers > len(batch) {
-		workers = len(batch)
-	}
-	runOne := func(i int) {
-		if ctx.Err() != nil {
-			outs[i].skipped = true
-			return
-		}
-		t0 := time.Now()
-		iv, err := f.eval(batch[i])
-		outs[i] = evalOut{iv: iv, err: err, dur: time.Since(t0)}
-	}
-	if workers <= 1 {
-		for i := range batch {
-			runOne(i)
-		}
-		return outs
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Each pool worker gets its own trace lane (tid 0 is the
-			// scheduler, 1 the merge loop) so Perfetto renders the
-			// batch's parallelism as stacked rows.
-			sp := obs.Start(ctx, "fuzz.worker")
-			if sp != nil {
-				sp.SetTID(w+2).Arg("worker", w)
-			}
-			defer sp.End()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(batch) {
-					return
-				}
-				runOne(i)
-			}
-		}(w)
-	}
-	wg.Wait()
-	return outs
 }
 
 // mutate implements MUTATE of Alg. 1: with probability ε a plain

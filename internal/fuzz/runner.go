@@ -1,0 +1,109 @@
+package fuzz
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/obs"
+)
+
+// BatchOut is one batch slot's outcome: the index set the debloat test
+// observed, or the error it failed with, plus the evaluator's
+// wall-clock cost. Skipped marks a slot whose evaluation never ran
+// because the campaign was canceled first; the merge loop stops there.
+type BatchOut struct {
+	// Indices is I_v, the index set the debloat test observed. Nil
+	// when Err is set or the slot was skipped.
+	Indices *array.IndexSet
+	// Err is the debloat test's failure, if any.
+	Err error
+	// Dur is the evaluator's wall-clock duration for this slot.
+	Dur time.Duration
+	// Skipped marks a slot abandoned due to cancellation; the campaign
+	// records no iteration for it.
+	Skipped bool
+}
+
+// BatchRunner evaluates one schedule round's seed batch and returns
+// per-slot outcomes aligned with the batch. It is the distribution
+// seam of the campaign: Run selects batches and merges their results
+// sequentially in seed order regardless of who evaluated them, so any
+// runner that returns the same per-seed outcomes a local evaluation
+// would — an in-process pool, or a coordinator leasing spans of the
+// batch to remote workers — yields a bit-identical campaign.
+//
+// RunBatch must return exactly len(batch) outcomes. A returned error
+// is a transport- or infrastructure-level failure (not a failing
+// debloat test — those go in BatchOut.Err) and aborts the campaign.
+// When the context is canceled, a runner should mark the unevaluated
+// slots Skipped and return promptly.
+type BatchRunner interface {
+	RunBatch(ctx context.Context, batch [][]float64) ([]BatchOut, error)
+}
+
+// PoolRunner is the in-process BatchRunner: a bounded worker pool over
+// one evaluator. It is the default runner of every campaign and the
+// evaluation engine a remote orchestra worker runs leased spans
+// through, so local and distributed campaigns share one evaluation
+// path.
+type PoolRunner struct {
+	// Eval is the debloat test.
+	Eval Evaluator
+	// Workers bounds the pool. Values below 2 evaluate the batch
+	// inline on the calling goroutine, preserving the sequential
+	// campaign's execution environment exactly.
+	Workers int
+}
+
+// RunBatch evaluates the batch through the worker pool, returning
+// per-slot outcomes aligned with the batch.
+func (p *PoolRunner) RunBatch(ctx context.Context, batch [][]float64) ([]BatchOut, error) {
+	outs := make([]BatchOut, len(batch))
+	workers := p.Workers
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	runOne := func(i int) {
+		if ctx.Err() != nil {
+			outs[i].Skipped = true
+			return
+		}
+		t0 := time.Now()
+		iv, err := p.Eval(batch[i])
+		outs[i] = BatchOut{Indices: iv, Err: err, Dur: time.Since(t0)}
+	}
+	if workers <= 1 {
+		for i := range batch {
+			runOne(i)
+		}
+		return outs, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each pool worker gets its own trace lane (tid 0 is the
+			// scheduler, 1 the merge loop) so Perfetto renders the
+			// batch's parallelism as stacked rows.
+			sp := obs.Start(ctx, "fuzz.worker")
+			if sp != nil {
+				sp.SetTID(w+2).Arg("worker", w)
+			}
+			defer sp.End()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(batch) {
+					return
+				}
+				runOne(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return outs, nil
+}

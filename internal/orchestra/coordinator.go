@@ -1,0 +1,489 @@
+package orchestra
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/fuzz"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// Defaults for the coordinator's timing knobs.
+const (
+	// DefaultLeaseTimeout is how long a leased span may stay inflight
+	// before the straggler janitor re-issues it.
+	DefaultLeaseTimeout = 30 * time.Second
+	// DefaultWorkerWait is how long a batch tolerates having zero
+	// connected workers before the campaign fails with a clear error
+	// instead of hanging.
+	DefaultWorkerWait = 30 * time.Second
+	// DefaultPullWait caps how long the coordinator holds a worker's
+	// long-poll pull before answering "none".
+	DefaultPullWait = 2 * time.Second
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// LeaseTimeout bounds how long one leased span may stay inflight
+	// before it is re-issued to another worker. Zero means
+	// DefaultLeaseTimeout.
+	LeaseTimeout time.Duration
+	// WorkerWait bounds how long a batch waits with zero connected
+	// workers before its campaign fails. Zero means DefaultWorkerWait.
+	WorkerWait time.Duration
+	// SpanSeeds fixes the seeds-per-lease granularity. Zero splits
+	// each batch evenly across the workers connected when the batch is
+	// formed (at least one lease), so every live worker gets a span.
+	// The split never affects campaign results, only scheduling.
+	SpanSeeds int
+	// MaxConcurrent is how many queued campaigns run at once. Zero
+	// means 1.
+	MaxConcurrent int
+	// PullWait caps the long-poll hold per pull. Zero means
+	// DefaultPullWait.
+	PullWait time.Duration
+	// Resolve maps a campaign spec to the parameter space Θ the
+	// schedule draws from and the array space results range over. Nil
+	// means the workload-program resolver (ParamsForSpec).
+	Resolve func(Spec) (workload.ParamSpace, array.Space, error)
+	// Registry receives the kondo_orchestra_* instruments. Nil falls
+	// back to the registry in the context given to Serve (which may
+	// also be nil: metrics become no-ops).
+	Registry *obs.Registry
+}
+
+// Campaign is one unit of the coordinator's queue: a spec naming the
+// evaluator fleet-side, and the full fuzz configuration (seed,
+// budgets, batch size — Runner is overwritten with the coordinator's
+// remote runner).
+type Campaign struct {
+	// ID names the campaign in leases, logs, and metrics. Must be
+	// unique among concurrently running campaigns.
+	ID string
+	// Spec resolves to Θ on the coordinator and to the evaluator on
+	// every worker.
+	Spec Spec
+	// Fuzz is the campaign's schedule configuration.
+	Fuzz fuzz.Config
+}
+
+// Pending is a submitted campaign's handle.
+type Pending struct {
+	// Campaign echoes the submission.
+	Campaign Campaign
+	res      *fuzz.Result
+	err      error
+	done     chan struct{}
+}
+
+// Wait blocks until the campaign finishes (or ctx is done) and
+// returns its result.
+func (p *Pending) Wait(ctx context.Context) (*fuzz.Result, error) {
+	select {
+	case <-p.done:
+		return p.res, p.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Coordinator owns the seed schedules of its campaigns and drains
+// them into leased seed batches for remote evaluator workers. It
+// performs the sequential seed-order merge exactly as an in-process
+// campaign does — fuzz.Run runs here, with a BatchRunner that leases
+// instead of evaluating — so a fixed-seed distributed campaign is
+// bit-identical to a single-process run.
+type Coordinator struct {
+	cfg Config
+	lm  *leaseManager
+
+	mu         sync.Mutex
+	conns      map[net.Conn]struct{}
+	nworkers   int
+	workerSeen time.Time // last connect/disconnect transition
+
+	queue chan *Pending
+
+	m struct {
+		merged       *obs.Counter
+		campaigns    *obs.Counter
+		active       *obs.Gauge
+		workers      *obs.Gauge
+		queueDepth   *obs.Gauge
+		batchSeconds *obs.Histogram
+	}
+}
+
+// NewCoordinator returns a coordinator with the given configuration.
+// Call Serve to accept workers and drain the campaign queue.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if cfg.WorkerWait <= 0 {
+		cfg.WorkerWait = DefaultWorkerWait
+	}
+	if cfg.PullWait <= 0 {
+		cfg.PullWait = DefaultPullWait
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.Resolve == nil {
+		cfg.Resolve = ParamsForSpec
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		lm:         newLeaseManager(cfg.LeaseTimeout),
+		conns:      make(map[net.Conn]struct{}),
+		workerSeen: time.Now(),
+		queue:      make(chan *Pending, 1024),
+	}
+	c.setRegistry(cfg.Registry)
+	return c
+}
+
+// setRegistry resolves the coordinator's instruments. Nil-safe: with
+// no registry every instrument is a no-op.
+func (c *Coordinator) setRegistry(reg *obs.Registry) {
+	c.lm.c = leaseCounters{
+		issued:   reg.Counter("kondo_orchestra_leases_issued_total"),
+		expired:  reg.Counter("kondo_orchestra_leases_expired_total"),
+		reissued: reg.Counter("kondo_orchestra_leases_reissued_total"),
+		late:     reg.Counter("kondo_orchestra_late_results_total"),
+		leased:   reg.Gauge("kondo_orchestra_leases_inflight"),
+	}
+	c.m.merged = reg.Counter("kondo_orchestra_batches_merged_total")
+	c.m.campaigns = reg.Counter("kondo_orchestra_campaigns_total")
+	c.m.active = reg.Gauge("kondo_orchestra_campaigns_active")
+	c.m.workers = reg.Gauge("kondo_orchestra_workers")
+	c.m.queueDepth = reg.Gauge("kondo_orchestra_queue_depth")
+	c.m.batchSeconds = reg.Histogram("kondo_orchestra_batch_seconds",
+		[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
+}
+
+// Submit enqueues a campaign and returns its handle. Campaigns run in
+// submission order, MaxConcurrent at a time, once Serve is running.
+func (c *Coordinator) Submit(camp Campaign) *Pending {
+	p := &Pending{Campaign: camp, done: make(chan struct{})}
+	c.queue <- p
+	c.m.queueDepth.Set(float64(len(c.queue)))
+	return p
+}
+
+// Serve accepts evaluator workers on ln and drains the campaign queue
+// until ctx is done, then closes every worker connection and returns.
+// Lease timeouts are enforced by a janitor for the lifetime of the
+// call. If Config.Registry is nil, instruments bind to the registry
+// in ctx.
+func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) error {
+	if c.cfg.Registry == nil {
+		if reg := obs.RegistryOf(ctx); reg != nil {
+			c.setRegistry(reg)
+		}
+	}
+	var wg sync.WaitGroup
+
+	// Straggler janitor: expired leases go back to the queue.
+	sweepEvery := c.cfg.LeaseTimeout / 4
+	if sweepEvery < 5*time.Millisecond {
+		sweepEvery = 5 * time.Millisecond
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(sweepEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case now := <-t.C:
+				c.lm.sweep(now)
+			}
+		}
+	}()
+
+	// Campaign dispatchers.
+	for i := 0; i < c.cfg.MaxConcurrent; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case p := <-c.queue:
+					c.m.queueDepth.Set(float64(len(c.queue)))
+					p.res, p.err = c.RunCampaign(ctx, p.Campaign)
+					close(p.done)
+				}
+			}
+		}()
+	}
+
+	// Accept loop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed on shutdown
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.handleConn(ctx, conn)
+			}()
+		}
+	}()
+
+	<-ctx.Done()
+	ln.Close()
+	c.mu.Lock()
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	wg.Wait()
+	return ctx.Err()
+}
+
+// workerCount returns the number of connected workers.
+func (c *Coordinator) workerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nworkers
+}
+
+// workerTransition returns the time of the last connect/disconnect.
+func (c *Coordinator) workerTransition() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workerSeen
+}
+
+// handleConn speaks the lease protocol with one worker: hello, then a
+// pull/result loop. Any read/decode error (including an abrupt
+// connection drop — worker death) immediately re-issues the worker's
+// inflight leases.
+func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	worker := conn.RemoteAddr().String()
+	log := obs.Log()
+	registered := false
+	unregister := func() {
+		if !registered {
+			return
+		}
+		registered = false
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.nworkers--
+		c.workerSeen = time.Now()
+		c.mu.Unlock()
+		c.m.workers.Add(-1)
+		if n := c.lm.dropWorker(worker); n > 0 {
+			log.Info("worker lost, leases re-issued", "worker", worker, "leases", n)
+		}
+	}
+	defer unregister()
+
+	// The idle deadline bounds how long a silent connection may hold
+	// coordinator state; workers poll well inside it.
+	idle := 4*c.cfg.PullWait + time.Minute
+
+	for {
+		if ctx.Err() != nil {
+			_ = writeMsg(conn, &msg{Type: msgBye, Reason: "coordinator draining"})
+			return
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(idle))
+		m, err := readMsg(conn)
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case msgHello:
+			if m.Name != "" {
+				worker = fmt.Sprintf("%s (%s)", m.Name, conn.RemoteAddr())
+			}
+			if !registered {
+				registered = true
+				c.mu.Lock()
+				c.conns[conn] = struct{}{}
+				c.nworkers++
+				c.workerSeen = time.Now()
+				c.mu.Unlock()
+				c.m.workers.Add(1)
+				log.Info("worker connected", "worker", worker)
+			}
+
+		case msgPull:
+			wait := time.Duration(m.WaitMS) * time.Millisecond
+			if wait <= 0 || wait > c.cfg.PullWait {
+				wait = c.cfg.PullWait
+			}
+			l := c.lm.pullWait(ctx, worker, wait)
+			if l == nil {
+				if err := writeMsg(conn, &msg{Type: msgNone}); err != nil {
+					return
+				}
+				continue
+			}
+			out := &msg{
+				Type:     msgLease,
+				LeaseID:  l.id,
+				Attempt:  l.attempt,
+				Campaign: l.campaign,
+				Spec:     l.spec,
+				Seeds:    l.seeds,
+			}
+			if err := writeMsg(conn, out); err != nil {
+				// The lease never reached the worker; put it back now
+				// rather than waiting out its deadline.
+				c.lm.dropWorker(worker)
+				return
+			}
+
+		case msgResult:
+			accepted := false
+			if l, ok := c.lm.lookup(m.LeaseID); ok {
+				outs := decodeOuts(m.Outs, l.space)
+				accepted = c.lm.complete(m.LeaseID, outs)
+			} else {
+				c.lm.c.late.Inc()
+			}
+			if err := writeMsg(conn, &msg{Type: msgAck, Accepted: accepted}); err != nil {
+				return
+			}
+
+		case msgBye:
+			return
+
+		default:
+			log.Warn("unknown message type", "type", m.Type, "worker", worker)
+			return
+		}
+	}
+}
+
+// RunCampaign executes one campaign's fuzz schedule on the
+// coordinator, evaluating every batch through leased spans. The
+// returned result is bit-identical to what fuzz.Run with a local
+// evaluator would produce for the same configuration.
+func (c *Coordinator) RunCampaign(ctx context.Context, camp Campaign) (*fuzz.Result, error) {
+	params, space, err := c.cfg.Resolve(camp.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("orchestra: campaign %s: resolving spec %s: %w", camp.ID, camp.Spec, err)
+	}
+	cfg := camp.Fuzz
+	cfg.Runner = &remoteRunner{c: c, camp: camp, space: space}
+	f, err := fuzz.New(params, space, nil, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("orchestra: campaign %s: %w", camp.ID, err)
+	}
+	c.m.campaigns.Inc()
+	c.m.active.Add(1)
+	defer c.m.active.Add(-1)
+	sp := obs.Start(ctx, "orchestra.campaign")
+	if sp != nil {
+		sp.Arg("campaign", camp.ID).Arg("spec", camp.Spec.String())
+	}
+	defer sp.End()
+	return f.Run(ctx)
+}
+
+// remoteRunner is the fuzz.BatchRunner that turns batches into leased
+// spans. All determinism-relevant state stays in fuzz.Run; the runner
+// only moves per-seed outcomes.
+type remoteRunner struct {
+	c     *Coordinator
+	camp  Campaign
+	space array.Space
+}
+
+// RunBatch leases the batch out span by span and blocks until every
+// slot is filled, the context is canceled (slots come back Skipped
+// and the campaign stops as canceled), or the coordinator has had no
+// connected workers for WorkerWait (a clear error instead of a hang).
+func (r *remoteRunner) RunBatch(ctx context.Context, batch [][]float64) ([]fuzz.BatchOut, error) {
+	c := r.c
+	span := c.cfg.SpanSeeds
+	if span <= 0 {
+		// Split evenly across the currently connected workers so every
+		// live worker gets a span; the split affects scheduling only,
+		// never results.
+		workers := c.workerCount()
+		if workers < 1 {
+			workers = 1
+		}
+		span = (len(batch) + workers - 1) / workers
+	}
+	start := time.Now()
+	pb := c.lm.newBatch(r.camp.ID, r.camp.Spec, r.space, batch, span)
+
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-pb.done:
+			c.m.batchSeconds.Observe(time.Since(start).Seconds())
+			c.m.merged.Inc()
+			return pb.outs, nil
+		case <-ctx.Done():
+			c.lm.cancelBatch(pb)
+			return pb.outs, nil
+		case <-tick.C:
+			if c.workerCount() > 0 {
+				continue
+			}
+			idle := time.Since(start)
+			if since := time.Since(c.workerTransition()); since < idle {
+				idle = since
+			}
+			if idle >= c.cfg.WorkerWait {
+				c.lm.cancelBatch(pb)
+				return nil, fmt.Errorf("orchestra: campaign %s: no connected workers for %v (start workers or raise WorkerWait)",
+					r.camp.ID, c.cfg.WorkerWait)
+			}
+		}
+	}
+}
+
+// ParamsForSpec is the default coordinator-side spec resolver: the
+// named benchmark program's parameter space and array space, sized to
+// the spec's dims when given.
+func ParamsForSpec(s Spec) (workload.ParamSpace, array.Space, error) {
+	p, err := programForSpec(s)
+	if err != nil {
+		return nil, array.Space{}, err
+	}
+	return p.Params(), p.Space(), nil
+}
+
+// EvaluatorForSpec is the default worker-side spec resolver: the
+// named benchmark program's virtual debloat test — exactly the
+// evaluator fuzz.ForProgram would run locally.
+func EvaluatorForSpec(s Spec) (fuzz.Evaluator, error) {
+	p, err := programForSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	return func(v []float64) (*array.IndexSet, error) {
+		return workload.RunOnVirtual(p, v)
+	}, nil
+}
+
+func programForSpec(s Spec) (workload.Program, error) {
+	if len(s.Dims) > 0 {
+		return workload.ForSpace(s.Program, s.Dims)
+	}
+	return workload.ByName(s.Program)
+}

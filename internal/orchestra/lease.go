@@ -1,0 +1,299 @@
+package orchestra
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/fuzz"
+	"repro/internal/obs"
+)
+
+// pendingBatch collects one fuzz batch's per-slot outcomes as its
+// leased spans complete. done closes when every slot is filled (or
+// the batch is canceled); outs must only be read after that.
+type pendingBatch struct {
+	outs      []fuzz.BatchOut
+	remaining int
+	done      chan struct{}
+	closed    bool
+}
+
+// lease is one leased span of a batch: a contiguous run of seeds
+// starting at offset within the batch's slots.
+//
+// Lease state machine (transitions under the manager's lock):
+//
+//	open+queued   --pull-->      open+inflight (deadline armed)
+//	open+inflight --complete-->  done (slots filled, first write wins)
+//	open+inflight --expire-->    open+queued (attempt++, re-issued)
+//	open+inflight --worker drop-> open+queued (attempt++, re-issued)
+//	open+any      --cancel-->    done (batch canceled, slots skipped)
+//
+// A lease can be inflight with one worker while a re-issued copy of
+// it is queued or inflight with another: completions are resolved
+// first-write-wins, and a completion for a lease that is no longer
+// open (someone else won, or the batch was canceled) is discarded and
+// counted as late.
+type lease struct {
+	id       uint64
+	campaign string
+	spec     Spec
+	space    array.Space
+	seeds    [][]float64
+	batch    *pendingBatch
+	offset   int
+	attempt  int
+	worker   string
+	inflight bool
+	deadline time.Time
+	done     bool
+}
+
+// leaseCounters is the lease manager's telemetry surface; every field
+// is nil-safe.
+type leaseCounters struct {
+	issued   *obs.Counter // leases handed to a worker (re-issues included)
+	expired  *obs.Counter // inflight leases whose deadline passed
+	reissued *obs.Counter // leases re-queued after expiry or worker loss
+	late     *obs.Counter // completions discarded (lease no longer open)
+	leased   *obs.Gauge   // currently inflight leases
+}
+
+// leaseManager owns the coordinator's lease table: a FIFO queue of
+// open leases, the inflight set with deadlines, and the
+// first-write-wins completion rule. It knows nothing about the
+// network; connection handlers call pull/complete/dropWorker and a
+// janitor calls sweep.
+type leaseManager struct {
+	mu      sync.Mutex
+	nextID  uint64
+	queue   []*lease          // open leases awaiting a worker, FIFO
+	open    map[uint64]*lease // every lease not yet done, by id
+	timeout time.Duration     // inflight deadline
+	signal  chan struct{}     // poked on enqueue, wakes one waiting pull
+	c       leaseCounters
+}
+
+func newLeaseManager(timeout time.Duration) *leaseManager {
+	return &leaseManager{
+		open:    make(map[uint64]*lease),
+		timeout: timeout,
+		signal:  make(chan struct{}, 1),
+	}
+}
+
+// poke wakes one pull waiter, if any.
+func (lm *leaseManager) poke() {
+	select {
+	case lm.signal <- struct{}{}:
+	default:
+	}
+}
+
+// newBatch registers one fuzz batch: its slots are split into spans of
+// at most span seeds, each span becoming one open lease.
+func (lm *leaseManager) newBatch(campaign string, spec Spec, space array.Space, batch [][]float64, span int) *pendingBatch {
+	pb := &pendingBatch{
+		outs:      make([]fuzz.BatchOut, len(batch)),
+		remaining: len(batch),
+		done:      make(chan struct{}),
+	}
+	lm.mu.Lock()
+	for off := 0; off < len(batch); off += span {
+		end := off + span
+		if end > len(batch) {
+			end = len(batch)
+		}
+		lm.nextID++
+		l := &lease{
+			id:       lm.nextID,
+			campaign: campaign,
+			spec:     spec,
+			space:    space,
+			seeds:    batch[off:end],
+			batch:    pb,
+			offset:   off,
+		}
+		lm.queue = append(lm.queue, l)
+		lm.open[l.id] = l
+	}
+	lm.mu.Unlock()
+	lm.poke()
+	return pb
+}
+
+// tryPull pops the first open queued lease, arming its deadline and
+// binding it to the worker. Done leases linger in the queue when a
+// first-write-wins completion beat their re-issued copy; they are
+// dropped here.
+func (lm *leaseManager) tryPull(worker string) *lease {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for len(lm.queue) > 0 {
+		l := lm.queue[0]
+		lm.queue = lm.queue[1:]
+		if l.done {
+			continue
+		}
+		l.worker = worker
+		l.inflight = true
+		l.deadline = time.Now().Add(lm.timeout)
+		lm.c.issued.Inc()
+		lm.c.leased.Add(1)
+		if len(lm.queue) > 0 {
+			lm.poke() // more work: wake the next waiter too
+		}
+		return l
+	}
+	return nil
+}
+
+// pullWait is tryPull with a bounded long-poll: it blocks until a
+// lease is available, the wait elapses, or ctx is done.
+func (lm *leaseManager) pullWait(ctx context.Context, worker string, wait time.Duration) *lease {
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		if l := lm.tryPull(worker); l != nil {
+			return l
+		}
+		select {
+		case <-lm.signal:
+		case <-deadline.C:
+			return nil
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// complete records a worker's result for a lease, first write wins:
+// the first completion of an open lease fills its batch slots (even
+// if the lease had expired and been re-issued in the meantime); any
+// later completion — the straggler losing the race — is discarded and
+// counted. It reports whether the result was accepted.
+func (lm *leaseManager) complete(id uint64, outs []fuzz.BatchOut) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	l, ok := lm.open[id]
+	if !ok || l.done || len(outs) != len(l.seeds) {
+		lm.c.late.Inc()
+		return false
+	}
+	lm.finish(l)
+	copy(l.batch.outs[l.offset:], outs)
+	l.batch.remaining -= len(outs)
+	if l.batch.remaining == 0 && !l.batch.closed {
+		l.batch.closed = true
+		close(l.batch.done)
+	}
+	return true
+}
+
+// finish retires a lease under the lock: done, out of the open table,
+// inflight gauge adjusted.
+func (lm *leaseManager) finish(l *lease) {
+	l.done = true
+	if l.inflight {
+		l.inflight = false
+		lm.c.leased.Add(-1)
+	}
+	delete(lm.open, l.id)
+}
+
+// requeue re-issues an open inflight lease: back to the front of the
+// queue (stragglers retry promptly) with the attempt count bumped.
+// Callers hold the lock.
+func (lm *leaseManager) requeue(l *lease) {
+	l.inflight = false
+	l.worker = ""
+	l.attempt++
+	lm.c.leased.Add(-1)
+	lm.c.reissued.Inc()
+	lm.queue = append([]*lease{l}, lm.queue...)
+}
+
+// sweep re-issues every inflight lease whose deadline has passed —
+// the straggler/lost-worker recovery path — and returns how many it
+// re-issued.
+func (lm *leaseManager) sweep(now time.Time) int {
+	lm.mu.Lock()
+	n := 0
+	for _, l := range lm.open {
+		if l.inflight && now.After(l.deadline) {
+			lm.c.expired.Inc()
+			lm.requeue(l)
+			n++
+		}
+	}
+	lm.mu.Unlock()
+	if n > 0 {
+		lm.poke()
+	}
+	return n
+}
+
+// dropWorker re-issues every lease inflight with the named worker —
+// the worker-death recovery path, faster than waiting for deadlines.
+func (lm *leaseManager) dropWorker(worker string) int {
+	lm.mu.Lock()
+	n := 0
+	for _, l := range lm.open {
+		if l.inflight && l.worker == worker {
+			lm.requeue(l)
+			n++
+		}
+	}
+	lm.mu.Unlock()
+	if n > 0 {
+		lm.poke()
+	}
+	return n
+}
+
+// cancelBatch retires every open lease of the batch and marks its
+// unfilled slots skipped, closing done. Completions that arrive after
+// cancellation are discarded as late. Safe to call concurrently with
+// completions and after done has closed.
+func (lm *leaseManager) cancelBatch(pb *pendingBatch) {
+	lm.mu.Lock()
+	for _, l := range lm.open {
+		if l.batch != pb {
+			continue
+		}
+		lm.finish(l)
+		for i := range l.seeds {
+			pb.outs[l.offset+i] = fuzz.BatchOut{Skipped: true}
+		}
+		pb.remaining -= len(l.seeds)
+	}
+	if !pb.closed {
+		pb.closed = true
+		close(pb.done)
+	}
+	lm.mu.Unlock()
+}
+
+// lookup returns the open lease by id, for decoding a result against
+// its campaign's space before completing it.
+func (lm *leaseManager) lookup(id uint64) (*lease, bool) {
+	lm.mu.Lock()
+	l, ok := lm.open[id]
+	lm.mu.Unlock()
+	return l, ok
+}
+
+// queued returns the number of open leases awaiting a worker.
+func (lm *leaseManager) queued() int {
+	lm.mu.Lock()
+	n := 0
+	for _, l := range lm.queue {
+		if !l.done {
+			n++
+		}
+	}
+	lm.mu.Unlock()
+	return n
+}

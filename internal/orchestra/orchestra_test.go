@@ -1,0 +1,429 @@
+package orchestra
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/fuzz"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// The test fixture: a synthetic debloat test over a 48×48 array whose
+// useful region is a centered square, with a small cross-shaped I_v
+// per useful seed. Rich enough that campaigns form both cluster kinds
+// and the index set accumulates gradually.
+var (
+	testSpace  = array.MustSpace(48, 48)
+	testParams = workload.ParamSpace{{Lo: 0, Hi: 47}, {Lo: 0, Hi: 47}}
+)
+
+func testEval(v []float64) (*array.IndexSet, error) {
+	set := array.NewIndexSet(testSpace)
+	x := int(math.Round(v[0]))
+	y := int(math.Round(v[1]))
+	if x < 10 || x > 38 || y < 10 || y > 38 {
+		return set, nil // not useful
+	}
+	for d := -2; d <= 2; d++ {
+		if _, err := set.Add(array.Index{x + d, y}); err != nil {
+			return nil, err
+		}
+		if _, err := set.Add(array.Index{x, y + d}); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+func testResolve(s Spec) (workload.ParamSpace, array.Space, error) {
+	if s.Program != "test" {
+		return nil, array.Space{}, errors.New("unknown test spec")
+	}
+	return testParams, testSpace, nil
+}
+
+func testEvalResolve(s Spec) (fuzz.Evaluator, error) {
+	if s.Program != "test" {
+		return nil, errors.New("unknown test spec")
+	}
+	return testEval, nil
+}
+
+func testFuzzConfig() fuzz.Config {
+	cfg := fuzz.DefaultConfig()
+	cfg.Seed = 42
+	cfg.MaxIter = 300
+	return cfg
+}
+
+// localBaseline runs the campaign in-process, the reference every
+// distributed run must match bit for bit.
+func localBaseline(t *testing.T, workers int) *fuzz.Result {
+	t.Helper()
+	cfg := testFuzzConfig()
+	cfg.Workers = workers
+	f, err := fuzz.New(testParams, testSpace, testEval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// coordEnv is one running coordinator on a loopback listener.
+type coordEnv struct {
+	coord *Coordinator
+	addr  string
+	stop  func()
+}
+
+func startCoord(t *testing.T, cfg Config) *coordEnv {
+	t.Helper()
+	if cfg.Resolve == nil {
+		cfg.Resolve = testResolve
+	}
+	if cfg.LeaseTimeout == 0 {
+		cfg.LeaseTimeout = 5 * time.Second
+	}
+	if cfg.WorkerWait == 0 {
+		cfg.WorkerWait = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = coord.Serve(ctx, ln)
+	}()
+	env := &coordEnv{coord: coord, addr: ln.Addr().String()}
+	env.stop = func() {
+		cancel()
+		<-done
+	}
+	t.Cleanup(env.stop)
+	return env
+}
+
+// startWorker runs one evaluator worker against the coordinator until
+// the test ends.
+func startWorker(t *testing.T, addr string, w Worker) {
+	t.Helper()
+	w.Addr = addr
+	if w.Resolve == nil {
+		w.Resolve = testEvalResolve
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+}
+
+// assertSameResult checks every schedule-determined field two runs
+// must share, mirroring fuzz's own determinism oracle, plus the
+// digest that folds them all together.
+func assertSameResult(t *testing.T, label string, ref, got *fuzz.Result) {
+	t.Helper()
+	if !ref.Indices.Equal(got.Indices) {
+		t.Errorf("%s: Indices differ (%d vs %d elements)", label, ref.Indices.Len(), got.Indices.Len())
+	}
+	if got.Evaluations != ref.Evaluations || got.Iterations != ref.Iterations {
+		t.Errorf("%s: evaluations/iterations %d/%d, want %d/%d",
+			label, got.Evaluations, got.Iterations, ref.Evaluations, ref.Iterations)
+	}
+	if len(got.Seeds) != len(ref.Seeds) {
+		t.Fatalf("%s: %d seeds, want %d", label, len(got.Seeds), len(ref.Seeds))
+	}
+	for i := range ref.Seeds {
+		if got.Seeds[i].Useful != ref.Seeds[i].Useful {
+			t.Fatalf("%s: seed %d verdict differs", label, i)
+		}
+		for k := range ref.Seeds[i].V {
+			if got.Seeds[i].V[k] != ref.Seeds[i].V[k] {
+				t.Fatalf("%s: seed %d value differs", label, i)
+			}
+		}
+	}
+	if got.UsefulClusters != ref.UsefulClusters || got.NonUsefulClusters != ref.NonUsefulClusters {
+		t.Errorf("%s: clusters %d/%d, want %d/%d", label,
+			got.UsefulClusters, got.NonUsefulClusters, ref.UsefulClusters, ref.NonUsefulClusters)
+	}
+	if got.StopReason != ref.StopReason {
+		t.Errorf("%s: stop reason %q, want %q", label, got.StopReason, ref.StopReason)
+	}
+	if dr, dg := Digest(ref), Digest(got); dr != dg {
+		t.Errorf("%s: digest %s, want %s", label, dg, dr)
+	}
+}
+
+// TestDistributedDeterminism is the PR's tentpole oracle: a fixed-seed
+// campaign is bit-identical whether it runs in-process with 4 pool
+// workers, on one remote worker, or on three remote workers.
+func TestDistributedDeterminism(t *testing.T) {
+	ref := localBaseline(t, 4)
+
+	for _, workers := range []int{1, 3} {
+		env := startCoord(t, Config{})
+		for i := 0; i < workers; i++ {
+			startWorker(t, env.addr, Worker{Name: "w", Workers: 2})
+		}
+		res, err := env.coord.RunCampaign(context.Background(), Campaign{
+			ID: "det", Spec: Spec{Program: "test"}, Fuzz: testFuzzConfig(),
+		})
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		assertSameResult(t, "workers="+string(rune('0'+workers)), ref, res)
+		env.stop()
+	}
+}
+
+// TestDeterminismAcrossWorkerDeath kills one of three workers
+// mid-campaign (via the MaxLeases crash hook, dropping the connection
+// without a bye) and requires the campaign to still match the local
+// baseline exactly: the dead worker's leases are re-issued and the
+// merge is unaffected.
+func TestDeterminismAcrossWorkerDeath(t *testing.T) {
+	ref := localBaseline(t, 4)
+
+	env := startCoord(t, Config{SpanSeeds: 4})
+	startWorker(t, env.addr, Worker{Name: "doomed", MaxLeases: 3})
+	startWorker(t, env.addr, Worker{Name: "w1"})
+	startWorker(t, env.addr, Worker{Name: "w2"})
+
+	res, err := env.coord.RunCampaign(context.Background(), Campaign{
+		ID: "death", Spec: Spec{Program: "test"}, Fuzz: testFuzzConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "worker-death", ref, res)
+}
+
+// TestSubmitQueue runs two campaigns through the coordinator queue and
+// checks both complete with the expected deterministic results.
+func TestSubmitQueue(t *testing.T) {
+	env := startCoord(t, Config{MaxConcurrent: 1})
+	startWorker(t, env.addr, Worker{Workers: 2})
+
+	cfgA := testFuzzConfig()
+	cfgB := testFuzzConfig()
+	cfgB.Seed = 7
+	pa := env.coord.Submit(Campaign{ID: "a", Spec: Spec{Program: "test"}, Fuzz: cfgA})
+	pb := env.coord.Submit(Campaign{ID: "b", Spec: Spec{Program: "test"}, Fuzz: cfgB})
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	ra, err := pa.Wait(ctx)
+	if err != nil {
+		t.Fatalf("campaign a: %v", err)
+	}
+	rb, err := pb.Wait(ctx)
+	if err != nil {
+		t.Fatalf("campaign b: %v", err)
+	}
+	assertSameResult(t, "queued-campaign", localBaseline(t, 4), ra)
+	if Digest(ra) == Digest(rb) {
+		t.Error("different seeds produced identical digests")
+	}
+}
+
+// TestZeroWorkersTimesOut: a campaign with no connected workers must
+// fail with a clear error after WorkerWait, not hang.
+func TestZeroWorkersTimesOut(t *testing.T) {
+	env := startCoord(t, Config{WorkerWait: 200 * time.Millisecond})
+	_, err := env.coord.RunCampaign(context.Background(), Campaign{
+		ID: "empty", Spec: Spec{Program: "test"}, Fuzz: testFuzzConfig(),
+	})
+	if err == nil {
+		t.Fatal("campaign with zero workers succeeded")
+	}
+	if !strings.Contains(err.Error(), "no connected workers") {
+		t.Errorf("error %q does not name the zero-worker condition", err)
+	}
+}
+
+// TestCancellationMidLease cancels the campaign context while leases
+// are inflight; the campaign must stop as canceled with the partial
+// result, and the lease table must drain.
+func TestCancellationMidLease(t *testing.T) {
+	env := startCoord(t, Config{SpanSeeds: 2})
+
+	// A worker whose evaluator blocks until the test releases it, so
+	// cancellation always lands mid-lease.
+	release := make(chan struct{})
+	var once sync.Once
+	started := make(chan struct{})
+	slowEval := func(v []float64) (*array.IndexSet, error) {
+		once.Do(func() { close(started) })
+		<-release
+		return testEval(v)
+	}
+	startWorker(t, env.addr, Worker{Resolve: func(Spec) (fuzz.Evaluator, error) { return slowEval, nil }})
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	resCh := make(chan *fuzz.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := env.coord.RunCampaign(ctx, Campaign{
+			ID: "cancel", Spec: Spec{Program: "test"}, Fuzz: testFuzzConfig(),
+		})
+		resCh <- res
+		errCh <- err
+	}()
+
+	<-started // at least one lease is inflight
+	cancel()
+
+	select {
+	case res := <-resCh:
+		if err := <-errCh; err != nil {
+			t.Fatalf("canceled campaign errored: %v", err)
+		}
+		if res.StopReason != fuzz.StopCanceled {
+			t.Errorf("stop reason %q, want %q", res.StopReason, fuzz.StopCanceled)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled campaign did not return")
+	}
+	if n := env.coord.lm.queued(); n != 0 {
+		t.Errorf("%d leases still queued after cancellation", n)
+	}
+}
+
+// TestLeaseFirstWriteWins exercises the lease manager directly: an
+// expired lease re-issued to a second worker is completed by whoever
+// answers first; the straggler's completion is discarded and counted
+// as late.
+func TestLeaseFirstWriteWins(t *testing.T) {
+	reg := obs.NewRegistry()
+	lm := newLeaseManager(time.Millisecond)
+	lm.c = leaseCounters{
+		issued:   reg.Counter("issued"),
+		expired:  reg.Counter("expired"),
+		reissued: reg.Counter("reissued"),
+		late:     reg.Counter("late"),
+		leased:   reg.Gauge("leased"),
+	}
+	batch := [][]float64{{1, 1}, {2, 2}}
+	pb := lm.newBatch("c", Spec{Program: "test"}, testSpace, batch, 2)
+
+	l1 := lm.tryPull("w1")
+	if l1 == nil {
+		t.Fatal("no lease to pull")
+	}
+
+	// Deadline passes; the sweep re-issues, and a second worker pulls
+	// the same span under a new binding.
+	time.Sleep(2 * time.Millisecond)
+	if n := lm.sweep(time.Now()); n != 1 {
+		t.Fatalf("sweep re-issued %d leases, want 1", n)
+	}
+	if reg.Counter("expired").Value() != 1 || reg.Counter("reissued").Value() != 1 {
+		t.Error("expiry metrics not recorded")
+	}
+	l2 := lm.tryPull("w2")
+	if l2 == nil || l2.id != l1.id {
+		t.Fatalf("re-issued lease not pulled (got %+v)", l2)
+	}
+	if l2.attempt != 1 {
+		t.Errorf("re-issued attempt = %d, want 1", l2.attempt)
+	}
+
+	outs := make([]fuzz.BatchOut, 2)
+	for i := range outs {
+		outs[i].Indices = array.NewIndexSet(testSpace)
+	}
+	if !lm.complete(l2.id, outs) {
+		t.Fatal("first completion rejected")
+	}
+	// The straggler (w1) answers for the same lease id: late.
+	if lm.complete(l1.id, outs) {
+		t.Fatal("second completion of a done lease accepted")
+	}
+	if reg.Counter("late").Value() != 1 {
+		t.Errorf("late counter = %d, want 1", reg.Counter("late").Value())
+	}
+	select {
+	case <-pb.done:
+	default:
+		t.Error("batch not done after its only lease completed")
+	}
+}
+
+// TestLeaseDropWorker: dropping a worker re-issues its inflight leases
+// immediately, ahead of the queue.
+func TestLeaseDropWorker(t *testing.T) {
+	lm := newLeaseManager(time.Hour)
+	lm.newBatch("c", Spec{Program: "test"}, testSpace, [][]float64{{1, 1}, {2, 2}}, 1)
+	a := lm.tryPull("dead")
+	if a == nil {
+		t.Fatal("no lease")
+	}
+	if n := lm.dropWorker("dead"); n != 1 {
+		t.Fatalf("dropWorker re-issued %d, want 1", n)
+	}
+	// The re-issued lease jumps ahead of the still-queued second span.
+	b := lm.tryPull("alive")
+	if b == nil || b.id != a.id {
+		t.Fatalf("re-issued lease not first in queue")
+	}
+}
+
+// TestWireOutsRoundTrip: batch outcomes survive the wire encoding —
+// index sets, errors, and durations.
+func TestWireOutsRoundTrip(t *testing.T) {
+	iv, err := testEval([]float64{24, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := []fuzz.BatchOut{
+		{Indices: iv, Dur: 7 * time.Millisecond},
+		{Err: errors.New("debloat test failed"), Dur: time.Millisecond},
+		{Indices: array.NewIndexSet(testSpace)}, // not useful: empty set
+	}
+	back := decodeOuts(encodeOuts(outs), testSpace)
+	if len(back) != len(outs) {
+		t.Fatalf("%d outs back, want %d", len(back), len(outs))
+	}
+	if !back[0].Indices.Equal(iv) || back[0].Dur != 7*time.Millisecond {
+		t.Error("index-set slot did not round-trip")
+	}
+	if back[1].Err == nil || back[1].Err.Error() != "debloat test failed" {
+		t.Errorf("error slot round-tripped as %v", back[1].Err)
+	}
+	if back[2].Err != nil || !back[2].Indices.Empty() {
+		t.Error("empty-set slot did not round-trip")
+	}
+}
+
+// TestDecodeOutsRejectsBadRuns: a result carrying runs outside the
+// campaign's space fails that slot instead of poisoning the campaign.
+func TestDecodeOutsRejectsBadRuns(t *testing.T) {
+	n := testSpace.Size()
+	back := decodeOuts([]wireOut{{Runs: [][2]int64{{n - 1, n + 5}}}}, testSpace)
+	if back[0].Err == nil {
+		t.Fatal("out-of-space run decoded without error")
+	}
+}

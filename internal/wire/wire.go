@@ -1,0 +1,101 @@
+// Package wire is the shared CRC32 frame codec of Kondo's binary
+// protocols. A frame is a fixed 12-byte header followed by the
+// payload:
+//
+//	magic (4 bytes) | count uint32 LE | crc32(payload) uint32 LE | payload
+//
+// count is a caller-defined unit count (float64 values for the
+// dataserve recovery plane, raw bytes for the orchestra lease
+// protocol); the payload length is count × Codec.UnitSize bytes. The
+// checksum covers the payload, so a truncated or corrupted frame is
+// detected before any content is trusted, and the count limit bounds
+// the allocation a corrupt or hostile header can force.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// HeaderSize is the fixed frame prefix: magic (4) | count u32 | crc32
+// u32 of the payload.
+const HeaderSize = 12
+
+// Codec describes one protocol's framing: its magic, the payload
+// bytes one counted unit occupies, and the largest unit count a frame
+// may claim.
+type Codec struct {
+	// Magic is the 4-byte frame signature.
+	Magic string
+	// UnitSize is the payload bytes per counted unit (8 for float64
+	// value frames, 1 for raw byte payloads).
+	UnitSize int
+	// MaxCount bounds the unit count a frame may claim, protecting
+	// the reader from allocating on a corrupt or hostile count field.
+	MaxCount int64
+}
+
+// Encode renders the payload as one frame. The payload length must be
+// a multiple of UnitSize; the count field is derived from it.
+func (c Codec) Encode(payload []byte) []byte {
+	buf := make([]byte, HeaderSize+len(payload))
+	copy(buf, c.Magic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)/c.UnitSize))
+	copy(buf[HeaderSize:], payload)
+	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// Decode reads one frame from r and returns its payload. wantCount
+// requires the frame to carry exactly that many units (wantCount < 0
+// accepts any count within MaxCount). It fails on short reads, bad
+// magic, count mismatches, and checksum mismatches; unlike DecodeAll
+// it leaves anything after the frame unread, so frames can follow one
+// another on a stream.
+func (c Codec) Decode(r io.Reader, wantCount int64) ([]byte, error) {
+	header := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame header: %w", err)
+	}
+	if string(header[:4]) != c.Magic {
+		return nil, fmt.Errorf("wire: bad frame magic %q", header[:4])
+	}
+	count := int64(binary.LittleEndian.Uint32(header[4:]))
+	wantCRC := binary.LittleEndian.Uint32(header[8:])
+	if count > c.MaxCount {
+		return nil, fmt.Errorf("wire: frame claims %d units (limit %d)", count, c.MaxCount)
+	}
+	if wantCount >= 0 && count != wantCount {
+		return nil, fmt.Errorf("wire: frame carries %d units, want %d", count, wantCount)
+	}
+	payload := make([]byte, count*int64(c.UnitSize))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame payload: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("wire: frame checksum mismatch (got %08x, want %08x)", got, wantCRC)
+	}
+	return payload, nil
+}
+
+// DecodeAll decodes one frame that must be the entirety of r — the
+// one-frame-per-HTTP-body contract of the recovery plane. Beyond
+// Decode's checks it rejects trailing bytes after the frame.
+func (c Codec) DecodeAll(r io.Reader, wantCount int64) ([]byte, error) {
+	payload, err := c.Decode(r, wantCount)
+	if err != nil {
+		return nil, err
+	}
+	if extra, _ := io.Copy(io.Discard, io.LimitReader(r, 1)); extra != 0 {
+		return nil, fmt.Errorf("wire: trailing bytes after %d-unit frame", len(payload)/c.UnitSize)
+	}
+	return payload, nil
+}
+
+// Write encodes the payload and writes the frame to w.
+func (c Codec) Write(w io.Writer, payload []byte) error {
+	_, err := w.Write(c.Encode(payload))
+	return err
+}

@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+var codec = Codec{Magic: "KTST", UnitSize: 1, MaxCount: 1 << 20}
+
+func TestRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {0x42}, []byte("hello frame"), make([]byte, 4096)} {
+		buf := codec.Encode(payload)
+		got, err := codec.Decode(bytes.NewReader(buf), int64(len(payload)))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload round-trip mismatch: %d vs %d bytes", len(got), len(payload))
+		}
+		if _, err := codec.DecodeAll(bytes.NewReader(buf), -1); err != nil {
+			t.Errorf("any-count DecodeAll: %v", err)
+		}
+	}
+}
+
+func TestStreamedFrames(t *testing.T) {
+	// Decode (unlike DecodeAll) must leave the next frame on the
+	// stream intact — the TCP lease-protocol contract.
+	var stream bytes.Buffer
+	if err := codec.Write(&stream, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Write(&stream, []byte("second!")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := codec.Decode(&stream, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := codec.Decode(&stream, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != "first" || string(b) != "second!" {
+		t.Fatalf("streamed frames decoded as %q, %q", a, b)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := codec.Encode([]byte{1, 2, 3})
+
+	cases := []struct {
+		name string
+		buf  []byte
+		want int64
+		msg  string
+	}{
+		{"empty", nil, 3, "truncated frame header"},
+		{"short header", good[:6], 3, "truncated frame header"},
+		{"bad magic", append([]byte("XXXX"), good[4:]...), 3, "bad frame magic"},
+		{"truncated payload", good[:len(good)-2], 3, "truncated frame payload"},
+		{"count mismatch", good, 2, "want 2"},
+		{"trailing bytes", append(append([]byte(nil), good...), 0xFF), 3, "trailing bytes"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := codec.DecodeAll(bytes.NewReader(c.buf), c.want)
+			if err == nil || !strings.Contains(err.Error(), c.msg) {
+				t.Errorf("err = %v, want substring %q", err, c.msg)
+			}
+		})
+	}
+
+	corrupt := append([]byte(nil), good...)
+	corrupt[HeaderSize] ^= 0x01
+	if _, err := codec.Decode(bytes.NewReader(corrupt), 3); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupted payload err = %v, want checksum mismatch", err)
+	}
+
+	huge := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(huge[4:], 1<<30)
+	if _, err := codec.Decode(bytes.NewReader(huge), -1); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("huge count err = %v, want limit error", err)
+	}
+}

@@ -1,0 +1,70 @@
+#!/bin/sh
+# orchestra-demo: run one fuzz campaign twice — in-process, and
+# distributed across a kondo-coord coordinator with two kondo-worker
+# evaluators over loopback (one worker crashing mid-lease so a lease
+# gets re-issued) — and assert the two result digests are bit-identical.
+# This is the distributed determinism contract of DESIGN.md §12,
+# exercised with real processes and real TCP instead of test goroutines.
+set -eu
+
+PROGRAM="${PROGRAM:-CS2}"
+BUDGET="${BUDGET:-800}"
+SEED="${SEED:-1}"
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/orchestra-demo.XXXXXX")
+pids=""
+cleanup() {
+    for pid in $pids; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "orchestra-demo: building kondo-coord and kondo-worker"
+go build -o "$workdir/kondo-coord" ./cmd/kondo-coord
+go build -o "$workdir/kondo-worker" ./cmd/kondo-worker
+
+echo "orchestra-demo: local baseline (-local, in-process)"
+"$workdir/kondo-coord" -local -program "$PROGRAM" -budget "$BUDGET" -seed "$SEED" \
+    -digest-out "$workdir/local.digest" -log-level warn
+
+echo "orchestra-demo: coordinator + 2 workers over loopback (one crashes mid-lease)"
+"$workdir/kondo-coord" -program "$PROGRAM" -budget "$BUDGET" -seed "$SEED" \
+    -addr 127.0.0.1:0 -addr-file "$workdir/coord.addr" \
+    -digest-out "$workdir/dist.digest" -log-level warn -worker-wait 60s &
+coord_pid=$!
+pids="$coord_pid"
+
+# Wait for the coordinator to publish its ephemeral address.
+i=0
+while [ ! -s "$workdir/coord.addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ] || ! kill -0 "$coord_pid" 2>/dev/null; then
+        echo "orchestra-demo: coordinator failed to start" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$workdir/coord.addr")
+
+"$workdir/kondo-worker" -coord "$addr" -name steady -idle-exit 5s -log-level warn &
+pids="$pids $!"
+# The doomed worker completes two leases, then crashes while holding a
+# third; the coordinator re-issues it and the digest must not change.
+"$workdir/kondo-worker" -coord "$addr" -name doomed -max-leases 2 -log-level error &
+pids="$pids $!"
+
+if ! wait "$coord_pid"; then
+    echo "orchestra-demo: distributed campaign failed" >&2
+    exit 1
+fi
+
+echo "orchestra-demo: comparing digests"
+cat "$workdir/local.digest" "$workdir/dist.digest"
+if ! cmp -s "$workdir/local.digest" "$workdir/dist.digest"; then
+    echo "orchestra-demo: FAIL — distributed digest differs from local baseline" >&2
+    exit 1
+fi
+echo "orchestra-demo: OK — distributed campaign is bit-identical to the local run"
