@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench-quick bench-json bench-check lint-prints lint-metrics-docs trace-demo orchestra-demo
+.PHONY: build test race vet verify bench-quick bench-json bench-check lint-prints lint-metrics-docs trace-demo orchestra-demo fleet-demo
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,15 @@ bench-check:
 # in-process `kondo-coord -local` run of the same campaign.
 orchestra-demo:
 	./scripts/orchestra-demo.sh
+
+# fleet-demo runs a coordinator plus two named workers over loopback
+# with fleet tracing on: the coordinator's single -trace-out file must
+# stitch all three processes (distinct pids, named lanes, worker lease
+# spans re-based onto the coordinator clock — kondo-viz -check-trace
+# -min-pids 3 verifies), and the traced distributed digest must stay
+# bit-identical to an in-process -local baseline.
+fleet-demo:
+	./scripts/fleet-demo.sh
 
 TRACE_DEMO_OUT ?= trace-demo.json
 trace-demo:

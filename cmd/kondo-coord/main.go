@@ -116,8 +116,13 @@ func run(log logger, addr, addrFile string, local bool, program, dimsArg string,
 	ctx = obs.WithRegistry(ctx, reg)
 	var tr *obs.Trace
 	if traceOut != "" {
+		// The trace on the Serve context doubles as the merged fleet
+		// trace: leases request worker sub-traces and every result
+		// stitches its spans in under the worker's pid, so one
+		// -trace-out file shows the whole fleet in Perfetto.
 		tr = obs.NewTrace()
 		ctx = obs.WithTrace(ctx, tr)
+		obs.RegisterTraceMetrics(reg, tr)
 	}
 
 	mkConfig := func(k int) fuzz.Config {
@@ -236,13 +241,22 @@ func runDistributed(ctx context.Context, log logger, addr, addrFile string,
 	}
 	log.Info("leasing", "addr", ln.Addr().String(), "program", spec.String(), "campaigns", campaigns)
 
-	coord := orchestra.NewCoordinator(orchestra.Config{
+	cfg := orchestra.Config{
 		LeaseTimeout:  leaseTO,
 		WorkerWait:    workerWait,
 		SpanSeeds:     span,
 		MaxConcurrent: concurrent,
 		Registry:      reg,
-	})
+	}
+	if st != nil {
+		cfg.OnFleetEvent = func(ev orchestra.FleetEvent) { st.PublishFleetEvent(ev) }
+	}
+	coord := orchestra.NewCoordinator(cfg)
+	if st != nil {
+		// /fleetz answers per-worker health straight off the
+		// coordinator's federation state.
+		st.SetFleetSource(func() any { return coord.FleetSnapshot() })
+	}
 	serveCtx, stopServe := context.WithCancel(ctx)
 	served := make(chan struct{})
 	go func() {

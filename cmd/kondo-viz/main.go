@@ -15,7 +15,11 @@
 // parses a Chrome trace-event JSON file (as written by kondo
 // -trace-out; gzip-compressed .json.gz accepted) and verifies it is
 // well-formed: every event has a name and a known phase, complete
-// spans carry non-negative durations, and instants carry no duration.
+// spans carry non-negative durations, instants carry no duration, and
+// process_name metadata events name their process. With -min-pids N
+// it additionally requires the trace to span at least N distinct
+// process lanes — `make fleet-demo` uses this to assert a stitched
+// fleet trace really contains the coordinator plus every worker.
 // On success it prints a per-category summary and exits 0; malformed
 // input exits 1.
 //
@@ -53,12 +57,13 @@ func main() {
 		budget      = flag.Int("budget", 1500, "fuzz budget for the scatter/hull figures")
 		seed        = flag.Int64("seed", 1, "random seed")
 		checkTrace  = flag.String("check-trace", "", "validate a Chrome trace-event JSON (or .json.gz) file and exit (no figures are rendered)")
+		minPids     = flag.Int("min-pids", 0, "with -check-trace: require at least this many distinct process lanes (0 = any)")
 		coverage    = flag.String("coverage", "", "render a coverage time series (kondo -coverage-out) as a convergence plot and exit")
 		coverageSVG = flag.String("coverage-svg", "", "with -coverage: write an SVG plot here instead of the ASCII chart")
 	)
 	flag.Parse()
 	if *checkTrace != "" {
-		if err := checkTraceFile(os.Stdout, *checkTrace); err != nil {
+		if err := checkTraceFile(os.Stdout, *checkTrace, *minPids); err != nil {
 			fmt.Fprintln(os.Stderr, "kondo-viz:", err)
 			os.Exit(1)
 		}
@@ -98,22 +103,24 @@ func coverageMode(w *os.File, seriesPath, svgPath string) error {
 }
 
 // traceEvent mirrors the subset of the Chrome trace-event format that
-// internal/obs emits: complete spans (ph "X") and instants (ph "i").
+// internal/obs emits: complete spans (ph "X"), instants (ph "i"), and
+// process metadata (ph "M", e.g. process_name for fleet lanes).
 type traceEvent struct {
-	Name string   `json:"name"`
-	Cat  string   `json:"cat"`
-	Ph   string   `json:"ph"`
-	Ts   *float64 `json:"ts"`
-	Dur  *float64 `json:"dur"`
-	PID  int      `json:"pid"`
-	TID  int      `json:"tid"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
 }
 
 // checkTraceFile validates path as a trace-event JSON file and writes
 // a summary (event counts per span name, tid lanes seen) to w. A
 // .gz-suffixed file (long campaigns produce large exports worth
 // compressing) is transparently decompressed.
-func checkTraceFile(w *os.File, path string) error {
+func checkTraceFile(w *os.File, path string, minPids int) error {
 	raw, err := readMaybeGzip(path)
 	if err != nil {
 		return err
@@ -130,12 +137,15 @@ func checkTraceFile(w *os.File, path string) error {
 	}
 	spans := map[string]int{}
 	tids := map[int]bool{}
+	pids := map[int]bool{}
+	procNames := map[int]string{}
 	instants := 0
 	for i, e := range doc.TraceEvents {
 		if e.Name == "" {
 			return fmt.Errorf("%s: event %d has no name", path, i)
 		}
-		if e.Ts == nil {
+		// Metadata events carry no timestamp; everything else must.
+		if e.Ph != "M" && e.Ts == nil {
 			return fmt.Errorf("%s: event %d (%s) has no timestamp", path, i, e.Name)
 		}
 		switch e.Ph {
@@ -145,24 +155,48 @@ func checkTraceFile(w *os.File, path string) error {
 			}
 			spans[e.Name]++
 			tids[e.TID] = true
+			pids[e.PID] = true
 		case "i":
 			if e.Dur != nil {
 				return fmt.Errorf("%s: instant %d (%s) must not carry a dur", path, i, e.Name)
 			}
 			instants++
+			pids[e.PID] = true
+		case "M":
+			if e.Name == "process_name" {
+				name, ok := e.Args["name"].(string)
+				if !ok || name == "" {
+					return fmt.Errorf("%s: metadata event %d (process_name, pid %d) has no args.name", path, i, e.PID)
+				}
+				procNames[e.PID] = name
+				pids[e.PID] = true
+			}
 		default:
 			return fmt.Errorf("%s: event %d (%s) has unknown phase %q", path, i, e.Name, e.Ph)
 		}
+	}
+	if minPids > 0 && len(pids) < minPids {
+		return fmt.Errorf("%s: trace spans %d distinct process lane(s), want at least %d", path, len(pids), minPids)
 	}
 	names := make([]string, 0, len(spans))
 	for n := range spans {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Fprintf(w, "%s: %d events ok (%d span names, %d instants, %d lanes)\n",
-		path, len(doc.TraceEvents), len(names), instants, len(tids))
+	fmt.Fprintf(w, "%s: %d events ok (%d span names, %d instants, %d lanes, %d processes)\n",
+		path, len(doc.TraceEvents), len(names), instants, len(tids), len(pids))
 	for _, n := range names {
 		fmt.Fprintf(w, "  %-24s %d\n", n, spans[n])
+	}
+	if len(procNames) > 0 {
+		ids := make([]int, 0, len(procNames))
+		for pid := range procNames {
+			ids = append(ids, pid)
+		}
+		sort.Ints(ids)
+		for _, pid := range ids {
+			fmt.Fprintf(w, "  pid %-4d %s\n", pid, procNames[pid])
+		}
 	}
 	if d, ok := doc.Metadata["dropped_events"]; ok {
 		fmt.Fprintf(w, "  (dropped_events: %v)\n", d)

@@ -32,7 +32,7 @@ func TestCheckTracePlainJSON(t *testing.T) {
 	if err := os.WriteFile(path, []byte(sampleTrace), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkTraceFile(outFile(t), path); err != nil {
+	if err := checkTraceFile(outFile(t), path, 0); err != nil {
 		t.Fatalf("valid trace rejected: %v", err)
 	}
 }
@@ -53,7 +53,7 @@ func TestCheckTraceGzip(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkTraceFile(outFile(t), path); err != nil {
+	if err := checkTraceFile(outFile(t), path, 0); err != nil {
 		t.Fatalf("gzip trace rejected: %v", err)
 	}
 }
@@ -63,9 +63,54 @@ func TestCheckTraceRejectsNonGzipWithGzSuffix(t *testing.T) {
 	if err := os.WriteFile(path, []byte(sampleTrace), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := checkTraceFile(outFile(t), path)
+	err := checkTraceFile(outFile(t), path, 0)
 	if err == nil || !strings.Contains(err.Error(), "gzip") {
 		t.Fatalf("uncompressed .gz file accepted: %v", err)
+	}
+}
+
+// fleetTrace is a stitched multi-process trace as the coordinator
+// writes after merging worker sub-traces: process_name metadata per
+// lane plus spans under distinct pids.
+const fleetTrace = `{"traceEvents":[` +
+	`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"coordinator"}},` +
+	`{"name":"process_name","ph":"M","pid":2,"tid":0,"args":{"name":"worker:alice"}},` +
+	`{"name":"process_name","ph":"M","pid":3,"tid":0,"args":{"name":"worker:bob"}},` +
+	`{"name":"orchestra.campaign","cat":"kondo","ph":"X","ts":0,"dur":9000,"pid":1,"tid":0},` +
+	`{"name":"orchestra.lease","cat":"kondo","ph":"X","ts":100,"dur":400,"pid":2,"tid":0},` +
+	`{"name":"orchestra.lease","cat":"kondo","ph":"X","ts":150,"dur":380,"pid":3,"tid":0},` +
+	`{"name":"orchestra.lease_completed","cat":"kondo","ph":"i","ts":520,"pid":1,"tid":0,"args":{"worker":"alice"}}` +
+	`],"metadata":{}}`
+
+func TestCheckTraceMultiPID(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, []byte(fleetTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkTraceFile(outFile(t), path, 3); err != nil {
+		t.Fatalf("stitched fleet trace rejected: %v", err)
+	}
+}
+
+func TestCheckTraceMinPidsFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, []byte(sampleTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := checkTraceFile(outFile(t), path, 2)
+	if err == nil || !strings.Contains(err.Error(), "process lane") {
+		t.Fatalf("single-pid trace passed -min-pids 2: %v", err)
+	}
+}
+
+func TestCheckTraceRejectsNamelessProcessMetadata(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	bad := `{"traceEvents":[{"name":"process_name","ph":"M","pid":2,"args":{}}]}`
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkTraceFile(outFile(t), path, 0); err == nil {
+		t.Fatal("process_name metadata without args.name accepted")
 	}
 }
 
@@ -74,7 +119,7 @@ func TestCheckTraceRejectsMalformed(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`{"traceEvents":[{"ph":"X","ts":0}]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkTraceFile(outFile(t), path); err == nil {
+	if err := checkTraceFile(outFile(t), path, 0); err == nil {
 		t.Fatal("nameless event accepted")
 	}
 }

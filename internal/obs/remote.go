@@ -1,0 +1,128 @@
+package obs
+
+// Cross-process trace federation: a worker exports its (sub-)trace as
+// compact WireEvents relative to its own epoch; the coordinator
+// re-bases them onto its epoch with an estimated clock offset and
+// records them under a per-process pid, so one Chrome trace shows the
+// whole fleet (DESIGN.md §13).
+
+import (
+	"sort"
+	"time"
+)
+
+// WireEvent is the compact serializable form of one trace event, for
+// shipping a sub-trace between processes (a worker piggybacking its
+// lease evaluation spans on a result message). Timestamps are
+// nanoseconds relative to the origin trace's epoch; the receiver
+// re-bases them via MergeRemote.
+type WireEvent struct {
+	Name string `json:"n"`
+	// Ph is the event phase: "" or "X" for a complete span, "i" for
+	// an instant.
+	Ph string `json:"ph,omitempty"`
+	// TS is the event start in nanoseconds since the origin trace's
+	// epoch.
+	TS int64 `json:"ts"`
+	// Dur is the span duration in nanoseconds (complete spans only).
+	Dur int64 `json:"d,omitempty"`
+	// TID is the origin's display lane.
+	TID int64 `json:"t,omitempty"`
+	// Args carries the event's annotations.
+	Args map[string]any `json:"a,omitempty"`
+}
+
+// ExportEvents snapshots the trace's retained events in wire form, in
+// recorded order. max bounds the export (<= 0 means all retained
+// events); the second return value is how many retained events were
+// omitted by the bound — callers surface it so a truncated remote
+// sub-trace is visible, not silent.
+func (t *Trace) ExportEvents(max int) ([]WireEvent, int) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	events := append([]event(nil), t.events...)
+	epoch := t.epoch
+	t.mu.Unlock()
+
+	omitted := 0
+	if max > 0 && len(events) > max {
+		omitted = len(events) - max
+		events = events[:max]
+	}
+	out := make([]WireEvent, 0, len(events))
+	for _, e := range events {
+		we := WireEvent{
+			Name: e.name,
+			TS:   int64(e.start.Sub(epoch)),
+			TID:  e.tid,
+		}
+		if e.ph == 'i' {
+			we.Ph = "i"
+		} else {
+			we.Dur = int64(e.dur)
+		}
+		if len(e.args) > 0 {
+			we.Args = make(map[string]any, len(e.args))
+			for _, a := range e.args {
+				we.Args[a.Key] = a.Value
+			}
+		}
+		out = append(out, we)
+	}
+	return out, omitted
+}
+
+// MergeRemote splices a remote process's exported events into t under
+// the given pid, labeling the lane name (empty keeps any existing
+// label). clockOffset re-bases the remote timeline onto t's epoch: a
+// remote event at TS nanoseconds past the remote epoch is recorded at
+// t.epoch + TS + clockOffset, so the caller's offset estimate is
+// "remote epoch-relative clock → local epoch-relative clock" (see
+// the NTP-style estimate in internal/orchestra). Events with unknown
+// phases are skipped; the trace limit applies as usual, counting
+// overflow in Dropped. Nil-safe.
+func (t *Trace) MergeRemote(pid int, name string, clockOffset time.Duration, events []WireEvent) {
+	if t == nil {
+		return
+	}
+	if name != "" {
+		t.SetProcessName(pid, name)
+	}
+	for _, we := range events {
+		e := event{
+			name:  we.Name,
+			start: t.epoch.Add(time.Duration(we.TS) + clockOffset),
+			pid:   pid,
+			tid:   we.TID,
+		}
+		switch we.Ph {
+		case "", "X":
+			e.ph = 'X'
+			e.dur = time.Duration(we.Dur)
+		case "i":
+			e.ph = 'i'
+		default:
+			continue // a newer peer's phase we don't know; drop it, not the merge
+		}
+		if len(we.Args) > 0 {
+			keys := make([]string, 0, len(we.Args))
+			for k := range we.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			e.args = make([]Arg, 0, len(keys))
+			for _, k := range keys {
+				e.args = append(e.args, Arg{Key: k, Value: we.Args[k]})
+			}
+		}
+		t.add(e)
+	}
+}
+
+// ImportEvents records exported events onto t's own process lane with
+// no clock adjustment — the same-process round-trip of ExportEvents.
+func (t *Trace) ImportEvents(events []WireEvent) {
+	t.MergeRemote(LocalPID, "", 0, events)
+}

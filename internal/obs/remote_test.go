@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// eventsNamed filters exported chrome events by name.
+func eventsNamed(evs []map[string]any, name string) []map[string]any {
+	var out []map[string]any
+	for _, e := range evs {
+		if e["name"] == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestExportEventsRoundTrip(t *testing.T) {
+	epoch := time.Now()
+	tr := NewTraceAt(epoch)
+	ctx := WithTrace(context.Background(), tr)
+
+	sp := Start(ctx, "fuzz.round", A("seeds", 3)).SetTID(2)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	InstantTID(ctx, "fuzz.marker", 5, A("k", "v"))
+
+	events, omitted := tr.ExportEvents(0)
+	if omitted != 0 {
+		t.Fatalf("omitted = %d, want 0", omitted)
+	}
+	if len(events) != 2 {
+		t.Fatalf("exported %d events, want 2", len(events))
+	}
+	span := events[0]
+	if span.Name != "fuzz.round" || span.Ph != "" || span.TID != 2 {
+		t.Errorf("span wire form = %+v", span)
+	}
+	if span.Dur <= 0 {
+		t.Errorf("span duration %d, want > 0", span.Dur)
+	}
+	if span.TS < 0 {
+		t.Errorf("span TS %d is before the epoch", span.TS)
+	}
+	if got := span.Args["seeds"]; got != 3 {
+		t.Errorf("span args = %v", span.Args)
+	}
+	inst := events[1]
+	if inst.Ph != "i" || inst.TID != 5 || inst.Dur != 0 {
+		t.Errorf("instant wire form = %+v", inst)
+	}
+
+	// Same-process round-trip: import back and check the Chrome export.
+	dst := NewTraceAt(epoch)
+	dst.ImportEvents(events)
+	if dst.Len() != 2 {
+		t.Fatalf("imported trace has %d events, want 2", dst.Len())
+	}
+	evs := traceEvents(t, decodeChromeTrace(t, dst))
+	got := eventsNamed(evs, "fuzz.round")
+	if len(got) != 1 {
+		t.Fatalf("fuzz.round events = %d, want 1", len(got))
+	}
+	if got[0]["pid"].(float64) != LocalPID {
+		t.Errorf("imported event pid = %v, want LocalPID", got[0]["pid"])
+	}
+	if got[0]["tid"].(float64) != 2 {
+		t.Errorf("imported event tid = %v, want 2", got[0]["tid"])
+	}
+}
+
+func TestExportEventsBounded(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < 10; i++ {
+		tr.RecordInstant("m", 0)
+	}
+	events, omitted := tr.ExportEvents(4)
+	if len(events) != 4 || omitted != 6 {
+		t.Fatalf("ExportEvents(4) = %d events, %d omitted; want 4, 6", len(events), omitted)
+	}
+	events, omitted = tr.ExportEvents(100)
+	if len(events) != 10 || omitted != 0 {
+		t.Fatalf("ExportEvents(100) = %d events, %d omitted; want 10, 0", len(events), omitted)
+	}
+}
+
+func TestExportEventsNilTrace(t *testing.T) {
+	var tr *Trace
+	events, omitted := tr.ExportEvents(10)
+	if events != nil || omitted != 0 {
+		t.Fatalf("nil trace export = %v, %d", events, omitted)
+	}
+	tr.MergeRemote(2, "w", 0, []WireEvent{{Name: "x"}})
+	tr.ImportEvents(nil)
+}
+
+func TestMergeRemoteRebasesOntoLocalEpoch(t *testing.T) {
+	epoch := time.Now()
+	tr := NewTraceAt(epoch)
+
+	// A remote span that started 5ms past the remote epoch, with the
+	// remote clock estimated to run 2ms behind the local epoch-relative
+	// clock: it must land at 7ms on the local timeline.
+	remote := []WireEvent{
+		{Name: "orchestra.lease_eval", TS: int64(5 * time.Millisecond), Dur: int64(time.Millisecond), TID: 1},
+		{Name: "orchestra.lease_done", Ph: "i", TS: int64(6 * time.Millisecond)},
+		{Name: "future.phase", Ph: "q", TS: 0}, // unknown phase: skipped, not fatal
+	}
+	tr.MergeRemote(3, "worker:alice", 2*time.Millisecond, remote)
+
+	if tr.Len() != 2 {
+		t.Fatalf("merged %d events, want 2 (unknown phase dropped)", tr.Len())
+	}
+	evs := traceEvents(t, decodeChromeTrace(t, tr))
+
+	meta := eventsNamed(evs, "process_name")
+	if len(meta) != 1 {
+		t.Fatalf("process_name metadata events = %d, want 1", len(meta))
+	}
+	if meta[0]["ph"] != "M" || meta[0]["pid"].(float64) != 3 {
+		t.Errorf("metadata event = %v", meta[0])
+	}
+	if name := meta[0]["args"].(map[string]any)["name"]; name != "worker:alice" {
+		t.Errorf("process name = %v, want worker:alice", name)
+	}
+
+	span := eventsNamed(evs, "orchestra.lease_eval")
+	if len(span) != 1 {
+		t.Fatalf("merged span missing: %v", evs)
+	}
+	if span[0]["pid"].(float64) != 3 {
+		t.Errorf("merged span pid = %v, want 3", span[0]["pid"])
+	}
+	wantTS := float64(7 * time.Millisecond / time.Microsecond)
+	if ts := span[0]["ts"].(float64); ts < wantTS-1 || ts > wantTS+1 {
+		t.Errorf("rebased ts = %v µs, want ~%v", ts, wantTS)
+	}
+	if dur := *jsonFloat(t, span[0], "dur"); dur != 1000 {
+		t.Errorf("merged dur = %v µs, want 1000", dur)
+	}
+
+	inst := eventsNamed(evs, "orchestra.lease_done")
+	if len(inst) != 1 || inst[0]["ph"] != "i" {
+		t.Fatalf("merged instant = %v", inst)
+	}
+}
+
+// jsonFloat pulls a numeric field that may be absent.
+func jsonFloat(t *testing.T, e map[string]any, key string) *float64 {
+	t.Helper()
+	v, ok := e[key]
+	if !ok {
+		t.Fatalf("event %v has no %q", e, key)
+	}
+	f, ok := v.(float64)
+	if !ok {
+		t.Fatalf("event field %q = %v is not a number", key, v)
+	}
+	return &f
+}
+
+func TestMergeRemoteArgsDeterministic(t *testing.T) {
+	tr := NewTrace()
+	tr.MergeRemote(2, "w", 0, []WireEvent{
+		{Name: "x", Args: map[string]any{"b": 2, "a": 1, "c": 3}},
+	})
+	tr.mu.Lock()
+	args := tr.events[0].args
+	tr.mu.Unlock()
+	if len(args) != 3 || args[0].Key != "a" || args[1].Key != "b" || args[2].Key != "c" {
+		t.Fatalf("merged args not key-sorted: %v", args)
+	}
+}
+
+func TestMergeRemoteRespectsLimit(t *testing.T) {
+	tr := NewTrace()
+	tr.SetLimit(3)
+	events := make([]WireEvent, 5)
+	for i := range events {
+		events[i] = WireEvent{Name: "e", TS: int64(i)}
+	}
+	tr.MergeRemote(2, "w", 0, events)
+	if tr.Len() != 3 {
+		t.Errorf("retained %d events, want 3", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestInstantTIDLane(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	InstantTID(ctx, "lease.granted", 7)
+	Instant(ctx, "plain")
+
+	evs := traceEvents(t, decodeChromeTrace(t, tr))
+	laned := eventsNamed(evs, "lease.granted")
+	if len(laned) != 1 || laned[0]["tid"].(float64) != 7 {
+		t.Fatalf("InstantTID event = %v, want tid 7", laned)
+	}
+	plain := eventsNamed(evs, "plain")
+	if len(plain) != 1 || plain[0]["tid"].(float64) != 0 {
+		t.Fatalf("Instant event = %v, want tid 0", plain)
+	}
+}
+
+func TestRecordInstantNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.RecordInstant("x", 1) // must not panic
+	InstantTID(context.Background(), "y", 2)
+}
+
+func TestRegisterTraceMetrics(t *testing.T) {
+	tr := NewTrace()
+	tr.SetLimit(1)
+	reg := NewRegistry()
+	RegisterTraceMetrics(reg, tr)
+
+	tr.RecordInstant("a", 0)
+	tr.RecordInstant("b", 0)
+	tr.RecordInstant("c", 0)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "kondo_trace_dropped_events 2") {
+		t.Errorf("exposition missing dropped gauge:\n%s", sb.String())
+	}
+
+	// Nil combinations must not panic or register anything.
+	RegisterTraceMetrics(nil, tr)
+	RegisterTraceMetrics(reg, nil)
+	RegisterTraceMetrics(nil, nil)
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("kondo_evals_total", L("worker", "alice")).Add(7)
+	reg.Gauge("kondo_inflight").Set(2.5)
+	reg.GaugeFunc("kondo_fn", func() float64 { return 9 })
+	reg.Histogram("kondo_lat", []float64{1, 2}).Observe(1.5) // skipped
+
+	points := reg.Snapshot()
+	if len(points) != 3 {
+		t.Fatalf("snapshot has %d points, want 3 (histogram skipped): %+v", len(points), points)
+	}
+	// snapshotSeries sorts by name: evals, fn, inflight.
+	if points[0].Name != "kondo_evals_total" || points[0].Kind != "counter" || points[0].Value != 7 {
+		t.Errorf("point 0 = %+v", points[0])
+	}
+	if len(points[0].Labels) != 1 || points[0].Labels[0] != (Label{Key: "worker", Value: "alice"}) {
+		t.Errorf("point 0 labels = %+v", points[0].Labels)
+	}
+	if points[1].Name != "kondo_fn" || points[1].Value != 9 {
+		t.Errorf("point 1 = %+v", points[1])
+	}
+	if points[2].Name != "kondo_inflight" || points[2].Kind != "gauge" || points[2].Value != 2.5 {
+		t.Errorf("point 2 = %+v", points[2])
+	}
+
+	var nilReg *Registry
+	if nilReg.Snapshot() != nil {
+		t.Error("nil registry snapshot is not nil")
+	}
+}
+
+func TestSetProcessNameOrdering(t *testing.T) {
+	tr := NewTrace()
+	tr.SetProcessName(3, "worker:bob")
+	tr.SetProcessName(1, "coordinator")
+	tr.SetProcessName(2, "worker:alice")
+	tr.RecordInstant("x", 0)
+
+	evs := traceEvents(t, decodeChromeTrace(t, tr))
+	meta := eventsNamed(evs, "process_name")
+	if len(meta) != 3 {
+		t.Fatalf("metadata events = %d, want 3", len(meta))
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if meta[i]["pid"].(float64) != want {
+			t.Errorf("metadata %d pid = %v, want %v", i, meta[i]["pid"], want)
+		}
+	}
+	// Metadata must precede timed events.
+	if evs[0]["ph"] != "M" {
+		t.Errorf("first event is %v, want metadata", evs[0])
+	}
+}

@@ -33,6 +33,11 @@ func TraceOf(ctx context.Context) *Trace {
 // past the limit are counted but dropped.
 const DefaultTraceLimit = 1 << 20
 
+// LocalPID is the process lane this trace's own events render under
+// in the Chrome trace export. Remote events merged in via MergeRemote
+// carry the pid the caller assigned them.
+const LocalPID = 1
+
 // Trace collects completed spans and instant events from any number
 // of goroutines. It is safe for concurrent use.
 type Trace struct {
@@ -41,6 +46,7 @@ type Trace struct {
 	events  []event
 	limit   int
 	dropped int64
+	procs   map[int]string // pid → process display name (Perfetto lane labels)
 }
 
 // event is one recorded trace entry (a completed span or an instant).
@@ -49,6 +55,7 @@ type event struct {
 	ph    byte // 'X' complete span, 'i' instant
 	start time.Time
 	dur   time.Duration
+	pid   int // 0 means LocalPID
 	tid   int64
 	args  []Arg
 }
@@ -66,7 +73,33 @@ func A(key string, value any) Arg { return Arg{Key: key, Value: value} }
 // NewTrace returns an empty trace whose timestamps are relative to
 // now, capped at DefaultTraceLimit events.
 func NewTrace() *Trace {
-	return &Trace{epoch: time.Now(), limit: DefaultTraceLimit}
+	return NewTraceAt(time.Now())
+}
+
+// NewTraceAt returns an empty trace whose timestamps are relative to
+// epoch — a worker that exports many per-lease sub-traces creates them
+// all against one session epoch so their events share a timeline. A
+// zero epoch means now.
+func NewTraceAt(epoch time.Time) *Trace {
+	if epoch.IsZero() {
+		epoch = time.Now()
+	}
+	return &Trace{epoch: epoch, limit: DefaultTraceLimit}
+}
+
+// Epoch returns the instant the trace's timestamps are relative to.
+func (t *Trace) Epoch() time.Time { return t.epoch }
+
+// SetProcessName labels a process lane: the Chrome export carries one
+// process_name metadata event per named pid, so Perfetto renders the
+// lane as e.g. "coordinator" or "worker:alice" instead of a number.
+func (t *Trace) SetProcessName(pid int, name string) {
+	t.mu.Lock()
+	if t.procs == nil {
+		t.procs = make(map[int]string)
+	}
+	t.procs[pid] = name
+	t.mu.Unlock()
 }
 
 // SetLimit changes the maximum retained event count (n <= 0 means
@@ -166,13 +199,29 @@ func (s *Span) End() {
 }
 
 // Instant records a zero-duration marker event if ctx carries a
-// trace.
+// trace. The marker lands on tid 0; use InstantTID to place it on a
+// display lane.
 func Instant(ctx context.Context, name string, args ...Arg) {
+	InstantTID(ctx, name, 0, args...)
+}
+
+// InstantTID records a zero-duration marker event on the given
+// display lane if ctx carries a trace — lease lifecycle markers pass
+// the worker's lane so the instant renders next to that worker's
+// spans instead of collapsing onto tid 0.
+func InstantTID(ctx context.Context, name string, tid int, args ...Arg) {
 	tr, _ := ctx.Value(traceKey{}).(*Trace)
-	if tr == nil {
+	tr.RecordInstant(name, tid, args...)
+}
+
+// RecordInstant records a zero-duration marker event on a display
+// lane directly on the trace, for callers holding a *Trace rather
+// than a context (the coordinator's lease lifecycle hooks). Nil-safe.
+func (t *Trace) RecordInstant(name string, tid int, args ...Arg) {
+	if t == nil {
 		return
 	}
-	tr.add(event{name: name, ph: 'i', start: time.Now(), args: args})
+	t.add(event{name: name, ph: 'i', start: time.Now(), tid: int64(tid), args: args})
 }
 
 // chromeEvent is the trace_event JSON shape understood by
@@ -204,23 +253,46 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 	events := append([]event(nil), t.events...)
 	epoch := t.epoch
 	dropped := t.dropped
+	procs := make(map[int]string, len(t.procs))
+	for pid, name := range t.procs {
+		procs[pid] = name
+	}
 	t.mu.Unlock()
 
 	sort.SliceStable(events, func(i, j int) bool { return events[i].start.Before(events[j].start) })
 	out := chromeTrace{
-		TraceEvents:     make([]chromeEvent, 0, len(events)),
+		TraceEvents:     make([]chromeEvent, 0, len(events)+len(procs)),
 		DisplayTimeUnit: "ms",
 	}
 	if dropped > 0 {
 		out.Metadata = map[string]any{"dropped_events": dropped}
 	}
+	// Process-name metadata first, sorted by pid, so viewers label the
+	// lanes before any timed event references them.
+	pids := make([]int, 0, len(procs))
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  pid,
+			Args: map[string]any{"name": procs[pid]},
+		})
+	}
 	for _, e := range events {
+		pid := e.pid
+		if pid == 0 {
+			pid = LocalPID
+		}
 		ce := chromeEvent{
 			Name: e.name,
 			Cat:  category(e.name),
 			Ph:   string(e.ph),
 			TS:   float64(e.start.Sub(epoch)) / float64(time.Microsecond),
-			PID:  1,
+			PID:  pid,
 			TID:  e.tid,
 		}
 		if e.ph == 'X' {
@@ -253,6 +325,19 @@ func (t *Trace) WriteFile(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// RegisterTraceMetrics exposes tr's drop accounting on reg:
+// kondo_trace_dropped_events mirrors Trace.Dropped at exposition
+// time, so a silently truncated trace shows up on /metrics instead of
+// only in the export's metadata. Nil-safe on both sides.
+func RegisterTraceMetrics(reg *Registry, tr *Trace) {
+	if reg == nil || tr == nil {
+		return
+	}
+	reg.GaugeFunc("kondo_trace_dropped_events", func() float64 {
+		return float64(tr.Dropped())
+	})
 }
 
 // category derives the Chrome "cat" field from a span name's leading

@@ -55,6 +55,11 @@ type Config struct {
 	// back to the registry in the context given to Serve (which may
 	// also be nil: metrics become no-ops).
 	Registry *obs.Registry
+	// OnFleetEvent receives lease lifecycle events (granted,
+	// completed, expired, reissued, late-discarded) as they happen —
+	// cmd/kondo-coord forwards them to the status server's
+	// /fleetz/stream. Called from protocol goroutines; must not block.
+	OnFleetEvent func(FleetEvent)
 }
 
 // Campaign is one unit of the coordinator's queue: a spec naming the
@@ -99,8 +104,9 @@ func (p *Pending) Wait(ctx context.Context) (*fuzz.Result, error) {
 // instead of evaluating — so a fixed-seed distributed campaign is
 // bit-identical to a single-process run.
 type Coordinator struct {
-	cfg Config
-	lm  *leaseManager
+	cfg   Config
+	lm    *leaseManager
+	fleet *fleet
 
 	mu         sync.Mutex
 	conns      map[net.Conn]struct{}
@@ -144,13 +150,26 @@ func NewCoordinator(cfg Config) *Coordinator {
 		workerSeen: time.Now(),
 		queue:      make(chan *Pending, 1024),
 	}
+	c.fleet = newFleet(c.lm)
+	c.fleet.onEvent = cfg.OnFleetEvent
+	c.lm.onEvent = c.fleet.handleLeaseEvents
 	c.setRegistry(cfg.Registry)
 	return c
 }
 
+// FleetSnapshot reports every worker's health — last-seen, lease
+// tallies, attempt histogram, clock estimate, straggler flag — the
+// backing for the status server's /fleetz view.
+func (c *Coordinator) FleetSnapshot() FleetSnapshot {
+	return c.fleet.snapshot()
+}
+
 // setRegistry resolves the coordinator's instruments. Nil-safe: with
-// no registry every instrument is a no-op.
+// no registry every instrument is a no-op. Serve may rebind from its
+// context while Submit runs on another goroutine, so the handle swap
+// happens under c.mu (Submit reads its gauge the same way).
 func (c *Coordinator) setRegistry(reg *obs.Registry) {
+	c.mu.Lock()
 	c.lm.c = leaseCounters{
 		issued:   reg.Counter("kondo_orchestra_leases_issued_total"),
 		expired:  reg.Counter("kondo_orchestra_leases_expired_total"),
@@ -165,6 +184,10 @@ func (c *Coordinator) setRegistry(reg *obs.Registry) {
 	c.m.queueDepth = reg.Gauge("kondo_orchestra_queue_depth")
 	c.m.batchSeconds = reg.Histogram("kondo_orchestra_batch_seconds",
 		[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
+	c.mu.Unlock()
+	if reg != nil {
+		c.fleet.bindRegistry(reg)
+	}
 }
 
 // Submit enqueues a campaign and returns its handle. Campaigns run in
@@ -172,7 +195,10 @@ func (c *Coordinator) setRegistry(reg *obs.Registry) {
 func (c *Coordinator) Submit(camp Campaign) *Pending {
 	p := &Pending{Campaign: camp, done: make(chan struct{})}
 	c.queue <- p
-	c.m.queueDepth.Set(float64(len(c.queue)))
+	c.mu.Lock()
+	qd := c.m.queueDepth
+	c.mu.Unlock()
+	qd.Set(float64(len(c.queue)))
 	return p
 }
 
@@ -187,6 +213,9 @@ func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) error {
 			c.setRegistry(reg)
 		}
 	}
+	// A trace on the Serve context becomes the merged fleet trace:
+	// leases ask workers for sub-traces and results stitch them in.
+	c.fleet.bindTrace(obs.TraceOf(ctx))
 	var wg sync.WaitGroup
 
 	// Straggler janitor: expired leases go back to the queue.
@@ -289,6 +318,7 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 		c.workerSeen = time.Now()
 		c.mu.Unlock()
 		c.m.workers.Add(-1)
+		c.fleet.disconnected(worker)
 		if n := c.lm.dropWorker(worker); n > 0 {
 			log.Info("worker lost, leases re-issued", "worker", worker, "leases", n)
 		}
@@ -298,6 +328,17 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 	// The idle deadline bounds how long a silent connection may hold
 	// coordinator state; workers poll well inside it.
 	idle := 4*c.cfg.PullWait + time.Minute
+
+	// lastWrite is when we last sent the worker anything: each
+	// worker message carrying a clock sample then closes one
+	// round-trip, feeding the NTP-style offset estimate.
+	var lastWrite time.Time
+	sample := func(m *msg, now time.Time) {
+		if m.WallNS == 0 || lastWrite.IsZero() {
+			return // no sample attached (older worker) or no round-trip yet
+		}
+		c.fleet.clockSample(worker, lastWrite, now, m.ClockNS, m.WallNS, m.TurnNS)
+	}
 
 	for {
 		if ctx.Err() != nil {
@@ -309,6 +350,7 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 		if err != nil {
 			return
 		}
+		now := time.Now()
 		switch m.Type {
 		case msgHello:
 			if m.Name != "" {
@@ -322,10 +364,17 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 				c.workerSeen = time.Now()
 				c.mu.Unlock()
 				c.m.workers.Add(1)
+				label := m.Name
+				if label == "" {
+					label = conn.RemoteAddr().String()
+				}
+				c.fleet.hello(worker, label)
 				log.Info("worker connected", "worker", worker)
 			}
 
 		case msgPull:
+			sample(m, now)
+			c.fleet.touch(worker)
 			wait := time.Duration(m.WaitMS) * time.Millisecond
 			if wait <= 0 || wait > c.cfg.PullWait {
 				wait = c.cfg.PullWait
@@ -335,6 +384,7 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 				if err := writeMsg(conn, &msg{Type: msgNone}); err != nil {
 					return
 				}
+				lastWrite = time.Now()
 				continue
 			}
 			out := &msg{
@@ -344,6 +394,7 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 				Campaign: l.campaign,
 				Spec:     l.spec,
 				Seeds:    l.seeds,
+				Trace:    c.fleet.tracing(),
 			}
 			if err := writeMsg(conn, out); err != nil {
 				// The lease never reached the worker; put it back now
@@ -351,18 +402,31 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 				c.lm.dropWorker(worker)
 				return
 			}
+			lastWrite = time.Now()
 
 		case msgResult:
+			sample(m, now)
+			c.fleet.touch(worker)
 			accepted := false
 			if l, ok := c.lm.lookup(m.LeaseID); ok {
 				outs := decodeOuts(m.Outs, l.space)
-				accepted = c.lm.complete(m.LeaseID, outs)
+				accepted = c.lm.complete(m.LeaseID, outs, worker)
 			} else {
-				c.lm.c.late.Inc()
+				accepted = c.lm.complete(m.LeaseID, nil, worker)
 			}
+			// Stitch the piggybacked telemetry whether or not the
+			// result won the first-write race — the evaluation
+			// happened, so its spans belong in the fleet trace. All of
+			// this is off the merge path: outs above are already
+			// decoded, so telemetry can never perturb the campaign.
+			if len(m.Events) > 0 {
+				c.fleet.mergeTrace(worker, m.Events, m.EventsOmitted)
+			}
+			c.fleet.metricsUpdate(worker, m.Metrics, now)
 			if err := writeMsg(conn, &msg{Type: msgAck, Accepted: accepted}); err != nil {
 				return
 			}
+			lastWrite = time.Now()
 
 		case msgBye:
 			return

@@ -1,0 +1,295 @@
+package orchestra
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// startCoordOn is startCoord with a caller-supplied base context, so
+// tests can hand the coordinator a trace and registry via Serve's ctx
+// exactly as cmd/kondo-coord does.
+func startCoordOn(t *testing.T, base context.Context, cfg Config) *coordEnv {
+	t.Helper()
+	if cfg.Resolve == nil {
+		cfg.Resolve = testResolve
+	}
+	if cfg.LeaseTimeout == 0 {
+		cfg.LeaseTimeout = 5 * time.Second
+	}
+	if cfg.WorkerWait == 0 {
+		cfg.WorkerWait = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(cfg)
+	ctx, cancel := context.WithCancel(base)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = coord.Serve(ctx, ln)
+	}()
+	env := &coordEnv{coord: coord, addr: ln.Addr().String()}
+	env.stop = func() {
+		cancel()
+		<-done
+	}
+	t.Cleanup(env.stop)
+	return env
+}
+
+// startWorkerOn is startWorker with a caller-supplied base context.
+func startWorkerOn(t *testing.T, base context.Context, addr string, w Worker) {
+	t.Helper()
+	w.Addr = addr
+	if w.Resolve == nil {
+		w.Resolve = testEvalResolve
+	}
+	ctx, cancel := context.WithCancel(base)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+}
+
+// TestFleetTelemetryDoesNotPerturbDigest pins the hard constraint of
+// the fleet-observability layer: the campaign digest is bit-identical
+// with full telemetry (merged trace, metrics federation, lifecycle
+// events) and with none.
+func TestFleetTelemetryDoesNotPerturbDigest(t *testing.T) {
+	ref := localBaseline(t, 1)
+
+	// Plain distributed run: no trace, no registry, no event hook.
+	plain := startCoord(t, Config{SpanSeeds: 7})
+	startWorker(t, plain.addr, Worker{Name: "plain", Workers: 2})
+	resPlain, err := plain.coord.Submit(Campaign{ID: "c-plain", Spec: Spec{Program: "test"}, Fuzz: testFuzzConfig()}).
+		Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Telemetry-laden run: coordinator trace + registry on the Serve
+	// context, worker trace + registry, lifecycle events collected.
+	coordTrace := obs.NewTrace()
+	coordReg := obs.NewRegistry()
+	var evMu sync.Mutex
+	var events []FleetEvent
+	base := obs.WithRegistry(obs.WithTrace(context.Background(), coordTrace), coordReg)
+	env := startCoordOn(t, base, Config{
+		SpanSeeds: 7,
+		OnFleetEvent: func(ev FleetEvent) {
+			evMu.Lock()
+			events = append(events, ev)
+			evMu.Unlock()
+		},
+	})
+	workerTrace := obs.NewTrace()
+	workerReg := obs.NewRegistry()
+	wbase := obs.WithTrace(context.Background(), workerTrace)
+	startWorkerOn(t, wbase, env.addr, Worker{Name: "alice", Workers: 2, Registry: workerReg})
+	resTele, err := env.coord.Submit(Campaign{ID: "c-tele", Spec: Spec{Program: "test"}, Fuzz: testFuzzConfig()}).
+		Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d := Digest(ref); Digest(resPlain) != d || Digest(resTele) != d {
+		t.Fatalf("telemetry perturbed the campaign digest:\nlocal %s\nplain %s\ntele  %s",
+			d, Digest(resPlain), Digest(resTele))
+	}
+	assertSameResult(t, "telemetry", ref, resTele)
+
+	// The merged trace must hold the coordinator's lane and the
+	// worker's, both named, with worker spans re-based onto the
+	// coordinator epoch.
+	var sb strings.Builder
+	if err := coordTrace.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TS   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]bool{}
+	names := map[string]bool{}
+	workerSpans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			names[e.Args["name"].(string)] = true
+			continue
+		}
+		pids[e.PID] = true
+		if e.PID != CoordinatorPID && e.Name == "orchestra.lease" {
+			workerSpans++
+			if e.TS < 0 {
+				t.Errorf("worker span at ts %v µs is before the coordinator epoch", e.TS)
+			}
+		}
+	}
+	if len(pids) < 2 {
+		t.Fatalf("merged trace has %d distinct pids, want >= 2", len(pids))
+	}
+	if !names["coordinator"] || !names["worker:alice"] {
+		t.Errorf("process names = %v, want coordinator and worker:alice", names)
+	}
+	if workerSpans == 0 {
+		t.Error("no worker lease spans stitched into the fleet trace")
+	}
+
+	// The worker's own trace kept its copies of the shipped spans.
+	if workerTrace.Len() == 0 {
+		t.Error("worker local trace is empty despite -trace-out-style context")
+	}
+
+	// Lifecycle events flowed: every completed lease was granted.
+	evMu.Lock()
+	kinds := map[string]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+		if ev.Kind == LeaseCompleted && ev.Worker != "alice" {
+			t.Errorf("completed event attributes worker %q, want alice", ev.Worker)
+		}
+	}
+	evMu.Unlock()
+	if kinds[LeaseGranted] == 0 || kinds[LeaseCompleted] == 0 {
+		t.Errorf("lifecycle events missing: %v", kinds)
+	}
+	if kinds[LeaseCompleted] > kinds[LeaseGranted] {
+		t.Errorf("more completions (%d) than grants (%d)", kinds[LeaseCompleted], kinds[LeaseGranted])
+	}
+
+	// The fleet snapshot and federated metrics saw the worker.
+	snap := env.coord.FleetSnapshot()
+	if len(snap.Workers) != 1 || snap.Workers[0].Worker != "alice" {
+		t.Fatalf("fleet snapshot = %+v, want one worker alice", snap.Workers)
+	}
+	w := snap.Workers[0]
+	if w.PID == CoordinatorPID || w.PID == 0 {
+		t.Errorf("worker pid = %d, want a distinct non-coordinator pid", w.PID)
+	}
+	if w.LeasesCompleted == 0 || w.EvalsTotal == 0 {
+		t.Errorf("worker tallies empty: %+v", w)
+	}
+	if len(w.Attempts) == 0 {
+		t.Errorf("attempt histogram empty: %+v", w)
+	}
+	if w.ClockSamples == 0 {
+		t.Error("no clock samples folded into the worker's estimate")
+	}
+
+	var prom strings.Builder
+	if err := coordReg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"kondo_fleet_workers 1",
+		`kondo_fleet_worker_evals_total{worker="alice"}`,
+		`kondo_fleet_worker_leases_completed_total{worker="alice"}`,
+		`kondo_fleet_worker_clock_skew_seconds{worker="alice"}`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("federated exposition missing %q", want)
+		}
+	}
+}
+
+// TestFleetClockSampleOffset checks the NTP-style arithmetic: a
+// worker whose epoch-relative clock reads n ns at the round-trip
+// midpoint gets offset = (midpoint − coordinatorEpoch) − n.
+func TestFleetClockSampleOffset(t *testing.T) {
+	lm := newLeaseManager(time.Hour)
+	f := newFleet(lm)
+	f.hello("alice (1.2.3.4:5)", "alice")
+
+	// Round trip: coordinator wrote at T, reply arrived 10ms later, of
+	// which the worker held it 4ms → rtt 6ms, midpoint T+7ms. The
+	// worker's session clock read 2ms there, so offset should be
+	// (T+7ms − epoch) − 2ms.
+	lastWrite := f.epoch.Add(100 * time.Millisecond)
+	now := lastWrite.Add(10 * time.Millisecond)
+	f.clockSample("alice (1.2.3.4:5)", lastWrite, now,
+		int64(2*time.Millisecond), now.UnixNano(), int64(4*time.Millisecond))
+
+	f.mu.Lock()
+	fw := f.workers["alice"]
+	offset, rtt, samples := fw.offset, fw.rtt, fw.samples
+	f.mu.Unlock()
+	if samples != 1 {
+		t.Fatalf("samples = %d, want 1", samples)
+	}
+	if rtt != 6*time.Millisecond {
+		t.Errorf("rtt = %v, want 6ms", rtt)
+	}
+	want := 107*time.Millisecond - 2*time.Millisecond
+	if offset != want {
+		t.Errorf("offset = %v, want %v", offset, want)
+	}
+
+	// A later, fatter sample must not displace the min-RTT estimate.
+	f.clockSample("alice (1.2.3.4:5)", lastWrite, lastWrite.Add(50*time.Millisecond),
+		int64(30*time.Millisecond), now.UnixNano(), 0)
+	f.mu.Lock()
+	if f.workers["alice"].rtt != 6*time.Millisecond {
+		t.Errorf("min-RTT sample displaced: rtt = %v", f.workers["alice"].rtt)
+	}
+	if f.workers["alice"].samples != 2 {
+		t.Errorf("samples = %d, want 2", f.workers["alice"].samples)
+	}
+	f.mu.Unlock()
+}
+
+// TestFleetStragglerFlag: a worker holding a lease far past the p95
+// of completed durations is flagged.
+func TestFleetStragglerFlag(t *testing.T) {
+	lm := newLeaseManager(time.Hour)
+	f := newFleet(lm)
+	lm.onEvent = f.handleLeaseEvents
+	f.hello("slow (a:1)", "slow")
+
+	// Feed enough short completions to arm the p95 (each ~1ms).
+	for i := 0; i < 8; i++ {
+		evs := []leaseEvent{{kind: LeaseCompleted, id: uint64(i), worker: "slow (a:1)", age: time.Millisecond}}
+		f.handleLeaseEvents(evs)
+	}
+	// One lease has been inflight with the worker for much longer.
+	lm.newBatch("c", Spec{Program: "test"}, testSpace, [][]float64{{1, 1}}, 1)
+	l := lm.tryPull("slow (a:1)")
+	if l == nil {
+		t.Fatal("no lease")
+	}
+	lm.mu.Lock()
+	l.issuedAt = time.Now().Add(-time.Second)
+	lm.mu.Unlock()
+
+	snap := f.snapshot()
+	if len(snap.Workers) != 1 {
+		t.Fatalf("workers = %+v", snap.Workers)
+	}
+	if !snap.Workers[0].Straggler {
+		t.Errorf("straggler not flagged: %+v (p95 %v ms)", snap.Workers[0], snap.P95LeaseMS)
+	}
+	if snap.Workers[0].LeasesInflight != 1 {
+		t.Errorf("inflight = %d, want 1", snap.Workers[0].LeasesInflight)
+	}
+}

@@ -47,8 +47,35 @@ type lease struct {
 	attempt  int
 	worker   string
 	inflight bool
+	issuedAt time.Time // when the current attempt was handed out
 	deadline time.Time
 	done     bool
+}
+
+// Lease lifecycle event kinds, in the order a lease can experience
+// them. A lease that completes first try emits granted then
+// completed; a straggler's path reads granted, expired, reissued,
+// granted (new worker), completed, late (the straggler's result).
+const (
+	LeaseGranted   = "granted"
+	LeaseCompleted = "completed"
+	LeaseExpired   = "expired"
+	LeaseReissued  = "reissued"
+	LeaseLate      = "late-discarded"
+)
+
+// leaseEvent is one lease lifecycle transition, captured under the
+// manager's lock and delivered to the onEvent hook after it is
+// released. worker is the lease-manager worker key (the fleet layer
+// translates it to a display label).
+type leaseEvent struct {
+	kind     string
+	id       uint64
+	campaign string
+	worker   string
+	attempt  int
+	seeds    int
+	age      time.Duration // completed/expired: time since issuedAt
 }
 
 // leaseCounters is the lease manager's telemetry surface; every field
@@ -74,6 +101,34 @@ type leaseManager struct {
 	timeout time.Duration     // inflight deadline
 	signal  chan struct{}     // poked on enqueue, wakes one waiting pull
 	c       leaseCounters
+
+	// onEvent receives lease lifecycle transitions. Set before the
+	// manager is used (never under the lock); events are captured
+	// under the lock but delivered after it is released, so the hook
+	// may take other locks (fleet state, trace, status subscribers)
+	// without ordering against lm.mu.
+	onEvent func([]leaseEvent)
+}
+
+// emit delivers events to the hook. Callers must NOT hold lm.mu.
+func (lm *leaseManager) emit(evs []leaseEvent) {
+	if lm.onEvent != nil && len(evs) > 0 {
+		lm.onEvent(evs)
+	}
+}
+
+// event captures one transition for a lease in its current state.
+// Callers hold the lock.
+func (l *lease) event(kind string, age time.Duration) leaseEvent {
+	return leaseEvent{
+		kind:     kind,
+		id:       l.id,
+		campaign: l.campaign,
+		worker:   l.worker,
+		attempt:  l.attempt,
+		seeds:    len(l.seeds),
+		age:      age,
+	}
 }
 
 func newLeaseManager(timeout time.Duration) *leaseManager {
@@ -130,24 +185,33 @@ func (lm *leaseManager) newBatch(campaign string, spec Spec, space array.Space, 
 // dropped here.
 func (lm *leaseManager) tryPull(worker string) *lease {
 	lm.mu.Lock()
-	defer lm.mu.Unlock()
+	var granted leaseEvent
+	var picked *lease
 	for len(lm.queue) > 0 {
 		l := lm.queue[0]
 		lm.queue = lm.queue[1:]
 		if l.done {
 			continue
 		}
+		now := time.Now()
 		l.worker = worker
 		l.inflight = true
-		l.deadline = time.Now().Add(lm.timeout)
+		l.issuedAt = now
+		l.deadline = now.Add(lm.timeout)
 		lm.c.issued.Inc()
 		lm.c.leased.Add(1)
 		if len(lm.queue) > 0 {
 			lm.poke() // more work: wake the next waiter too
 		}
-		return l
+		granted = l.event(LeaseGranted, 0)
+		picked = l
+		break
 	}
-	return nil
+	lm.mu.Unlock()
+	if picked != nil {
+		lm.emit([]leaseEvent{granted})
+	}
+	return picked
 }
 
 // pullWait is tryPull with a bounded long-poll: it blocks until a
@@ -173,15 +237,26 @@ func (lm *leaseManager) pullWait(ctx context.Context, worker string, wait time.D
 // the first completion of an open lease fills its batch slots (even
 // if the lease had expired and been re-issued in the meantime); any
 // later completion — the straggler losing the race — is discarded and
-// counted. It reports whether the result was accepted.
-func (lm *leaseManager) complete(id uint64, outs []fuzz.BatchOut) bool {
+// counted. worker names the completer for lifecycle attribution (it
+// may differ from the lease's current holder after a re-issue). It
+// reports whether the result was accepted.
+func (lm *leaseManager) complete(id uint64, outs []fuzz.BatchOut, worker string) bool {
 	lm.mu.Lock()
-	defer lm.mu.Unlock()
 	l, ok := lm.open[id]
 	if !ok || l.done || len(outs) != len(l.seeds) {
 		lm.c.late.Inc()
+		var ev leaseEvent
+		if ok {
+			ev = l.event(LeaseLate, 0)
+			ev.worker = worker
+		} else {
+			ev = leaseEvent{kind: LeaseLate, id: id, worker: worker}
+		}
+		lm.mu.Unlock()
+		lm.emit([]leaseEvent{ev})
 		return false
 	}
+	age := time.Since(l.issuedAt)
 	lm.finish(l)
 	copy(l.batch.outs[l.offset:], outs)
 	l.batch.remaining -= len(outs)
@@ -189,6 +264,10 @@ func (lm *leaseManager) complete(id uint64, outs []fuzz.BatchOut) bool {
 		l.batch.closed = true
 		close(l.batch.done)
 	}
+	ev := l.event(LeaseCompleted, age)
+	ev.worker = worker
+	lm.mu.Unlock()
+	lm.emit([]leaseEvent{ev})
 	return true
 }
 
@@ -221,10 +300,13 @@ func (lm *leaseManager) requeue(l *lease) {
 func (lm *leaseManager) sweep(now time.Time) int {
 	lm.mu.Lock()
 	n := 0
+	var evs []leaseEvent
 	for _, l := range lm.open {
 		if l.inflight && now.After(l.deadline) {
 			lm.c.expired.Inc()
+			evs = append(evs, l.event(LeaseExpired, now.Sub(l.issuedAt)))
 			lm.requeue(l)
+			evs = append(evs, l.event(LeaseReissued, 0))
 			n++
 		}
 	}
@@ -232,6 +314,7 @@ func (lm *leaseManager) sweep(now time.Time) int {
 	if n > 0 {
 		lm.poke()
 	}
+	lm.emit(evs)
 	return n
 }
 
@@ -240,9 +323,13 @@ func (lm *leaseManager) sweep(now time.Time) int {
 func (lm *leaseManager) dropWorker(worker string) int {
 	lm.mu.Lock()
 	n := 0
+	var evs []leaseEvent
 	for _, l := range lm.open {
 		if l.inflight && l.worker == worker {
 			lm.requeue(l)
+			ev := l.event(LeaseReissued, 0)
+			ev.worker = worker // requeue cleared the binding
+			evs = append(evs, ev)
 			n++
 		}
 	}
@@ -250,6 +337,7 @@ func (lm *leaseManager) dropWorker(worker string) int {
 	if n > 0 {
 		lm.poke()
 	}
+	lm.emit(evs)
 	return n
 }
 
@@ -283,6 +371,34 @@ func (lm *leaseManager) lookup(id uint64) (*lease, bool) {
 	l, ok := lm.open[id]
 	lm.mu.Unlock()
 	return l, ok
+}
+
+// inflightAges returns, per worker key, the ages of that worker's
+// inflight leases — the fleet layer's straggler detector compares
+// them against the p95 of completed lease durations.
+func (lm *leaseManager) inflightAges(now time.Time) map[string][]time.Duration {
+	lm.mu.Lock()
+	out := make(map[string][]time.Duration)
+	for _, l := range lm.open {
+		if l.inflight {
+			out[l.worker] = append(out[l.worker], now.Sub(l.issuedAt))
+		}
+	}
+	lm.mu.Unlock()
+	return out
+}
+
+// inflightFor counts the leases currently inflight with one worker.
+func (lm *leaseManager) inflightFor(worker string) int {
+	lm.mu.Lock()
+	n := 0
+	for _, l := range lm.open {
+		if l.inflight && l.worker == worker {
+			n++
+		}
+	}
+	lm.mu.Unlock()
+	return n
 }
 
 // queued returns the number of open leases awaiting a worker.

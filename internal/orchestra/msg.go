@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/fuzz"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -76,15 +77,39 @@ type msg struct {
 	Name   string `json:"name,omitempty"`
 	WaitMS int64  `json:"wait_ms,omitempty"`
 
-	// lease (echoed back on result)
+	// Clock sample, attached by the worker to pull and result
+	// messages (hello carries one too, for symmetry): ClockNS is the
+	// worker's monotonic reading in nanoseconds since its session
+	// epoch at send time, WallNS its wall clock (unix ns, for the skew
+	// metric only), TurnNS how long the worker held the previous
+	// coordinator message before sending this one — the coordinator
+	// subtracts it from the observed round-trip to estimate the
+	// network RTT and, NTP-style, the clock offset at the midpoint.
+	// All optional: a zero WallNS means no sample (older peer).
+	ClockNS int64 `json:"clock_ns,omitempty"`
+	WallNS  int64 `json:"wall_ns,omitempty"`
+	TurnNS  int64 `json:"turn_ns,omitempty"`
+
+	// lease (LeaseID/Attempt echoed back on result)
 	LeaseID  uint64      `json:"lease_id,omitempty"`
 	Attempt  int         `json:"attempt,omitempty"`
 	Campaign string      `json:"campaign,omitempty"`
 	Spec     Spec        `json:"spec,omitempty"`
 	Seeds    [][]float64 `json:"seeds,omitempty"`
+	// Trace asks the worker to record the lease's evaluation into a
+	// sub-trace and piggyback it on the result.
+	Trace bool `json:"trace,omitempty"`
 
 	// result
 	Outs []wireOut `json:"outs,omitempty"`
+	// Events is the lease's evaluation sub-trace (when the lease asked
+	// for one), timestamps relative to the worker's session epoch;
+	// EventsOmitted counts events the bound cut. Metrics is a snapshot
+	// of the worker's registry for coordinator-side federation. All
+	// optional — an old-style result without them is still accepted.
+	Events        []obs.WireEvent   `json:"events,omitempty"`
+	EventsOmitted int               `json:"events_omitted,omitempty"`
+	Metrics       []obs.MetricPoint `json:"metrics,omitempty"`
 
 	// ack
 	Accepted bool `json:"accepted,omitempty"`

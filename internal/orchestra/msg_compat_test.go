@@ -1,0 +1,124 @@
+package orchestra
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/fuzz"
+)
+
+// TestMsgIgnoresUnknownFields: a frame from a newer peer carrying
+// fields this build does not know must decode cleanly — the JSON
+// envelope is the forward-compat seam of the KDO1 protocol.
+func TestMsgIgnoresUnknownFields(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte(`{"type":"result","lease_id":7,"outs":[{"runs":[[0,3]]}],` +
+		`"hologram":true,"future_blob":{"nested":[1,2,3]},"clock_ns":12}`)
+	if err := msgCodec.Write(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	m, err := readMsg(&buf)
+	if err != nil {
+		t.Fatalf("newer-peer frame rejected: %v", err)
+	}
+	if m.Type != msgResult || m.LeaseID != 7 || len(m.Outs) != 1 || m.ClockNS != 12 {
+		t.Fatalf("known fields mangled: %+v", m)
+	}
+}
+
+// TestMsgTelemetryFieldsOptional: every telemetry field added for
+// fleet observability is omitempty, so an old-style message without
+// them round-trips to zero values and stays byte-lean.
+func TestMsgTelemetryFieldsOptional(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeMsg(&buf, &msg{Type: msgResult, LeaseID: 3, Outs: []wireOut{{Runs: [][2]int64{{0, 1}}}}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, forbidden := range []string{"clock_ns", "wall_ns", "turn_ns", "trace", "events", "metrics"} {
+		if bytes.Contains(raw, []byte(`"`+forbidden+`"`)) {
+			t.Errorf("zero-valued telemetry field %q serialized", forbidden)
+		}
+	}
+	m, err := readMsg(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WallNS != 0 || m.Trace || m.Events != nil || m.Metrics != nil {
+		t.Fatalf("telemetry fields not zero after round-trip: %+v", m)
+	}
+}
+
+// TestOldWorkerStillAccepted drives the coordinator with a hand-rolled
+// pre-telemetry client: hello and result messages without clock
+// samples, sub-traces, or metric snapshots. The lease must complete
+// and be acked accepted.
+func TestOldWorkerStillAccepted(t *testing.T) {
+	env := startCoord(t, Config{SpanSeeds: 100})
+	pending := env.coord.Submit(Campaign{ID: "compat", Spec: Spec{Program: "test"}, Fuzz: func() fuzz.Config {
+		cfg := testFuzzConfig()
+		cfg.MaxIter = 8
+		cfg.BatchSize = 8
+		return cfg
+	}()})
+
+	conn, err := net.DialTimeout("tcp", env.addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, &msg{Type: msgHello, Name: "oldtimer"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := writeMsg(conn, &msg{Type: msgPull, WaitMS: 500}); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		m, err := readMsg(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type == msgNone {
+			continue
+		}
+		if m.Type != msgLease {
+			t.Fatalf("unexpected %q", m.Type)
+		}
+		outs := make([]fuzz.BatchOut, len(m.Seeds))
+		for i, seed := range m.Seeds {
+			set, err := testEval(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs[i].Indices = set
+		}
+		// Old-style result: no clock sample, no events, no metrics.
+		if err := writeMsg(conn, &msg{Type: msgResult, LeaseID: m.LeaseID, Outs: encodeOuts(outs)}); err != nil {
+			t.Fatal(err)
+		}
+		ack, err := readMsg(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack.Type != msgAck || !ack.Accepted {
+			t.Fatalf("old-style result not accepted: %+v", ack)
+		}
+		break
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	go func() {
+		// Keep serving any remaining leases of the tiny campaign.
+		w := Worker{Addr: env.addr, Name: "helper", Resolve: testEvalResolve}
+		_ = w.Run(ctx)
+	}()
+	if _, err := pending.Wait(ctx); err != nil {
+		t.Fatalf("campaign with old-style worker failed: %v", err)
+	}
+}

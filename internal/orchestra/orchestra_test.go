@@ -355,11 +355,11 @@ func TestLeaseFirstWriteWins(t *testing.T) {
 	for i := range outs {
 		outs[i].Indices = array.NewIndexSet(testSpace)
 	}
-	if !lm.complete(l2.id, outs) {
+	if !lm.complete(l2.id, outs, "w2") {
 		t.Fatal("first completion rejected")
 	}
 	// The straggler (w1) answers for the same lease id: late.
-	if lm.complete(l1.id, outs) {
+	if lm.complete(l1.id, outs, "w1") {
 		t.Fatal("second completion of a done lease accepted")
 	}
 	if reg.Counter("late").Value() != 1 {

@@ -92,6 +92,16 @@ func (w *Worker) Run(ctx context.Context) error {
 		return r.runner, r.err
 	}
 
+	// The session epoch anchors every per-lease sub-trace and clock
+	// sample this worker ships: one timeline for the whole session, so
+	// the coordinator's offset estimate applies to every lease. When
+	// the worker has its own trace (-trace-out), its epoch is reused
+	// so shipped events align with the local trace too.
+	epoch := time.Now()
+	if tr := obs.TraceOf(ctx); tr != nil {
+		epoch = tr.Epoch()
+	}
+
 	served := 0
 	lastLease := time.Now()
 	backoff := 100 * time.Millisecond
@@ -117,7 +127,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		backoff = 100 * time.Millisecond
 		gConnected.Set(1)
-		err = w.serve(ctx, conn, pullWait, runnerFor, mLeases, mEvals, &served, &lastLease)
+		err = w.serve(ctx, conn, pullWait, epoch, reg, runnerFor, mLeases, mEvals, &served, &lastLease)
 		conn.Close()
 		gConnected.Set(0)
 		switch {
@@ -135,6 +145,10 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// metricsInterval is the minimum spacing between registry snapshots
+// piggybacked on results (the first result always carries one).
+const metricsInterval = 250 * time.Millisecond
+
 // Sentinel exits from one connection's serve loop.
 var (
 	errByeReceived = fmt.Errorf("orchestra: coordinator said bye")
@@ -144,11 +158,32 @@ var (
 
 // serve runs the pull/result loop on one established connection.
 func (w *Worker) serve(ctx context.Context, conn net.Conn, pullWait time.Duration,
+	epoch time.Time, reg *obs.Registry,
 	runnerFor func(Spec) (*fuzz.PoolRunner, error),
 	mLeases, mEvals *obs.Counter, served *int, lastLease *time.Time) error {
 
 	log := obs.Log()
-	if err := writeMsg(conn, &msg{Type: msgHello, Name: w.Name}); err != nil {
+
+	// lastRecv is when the last coordinator message was read;
+	// stamp attaches a clock sample with the turnaround since then,
+	// letting the coordinator subtract worker-side processing from its
+	// observed round-trip.
+	var lastRecv time.Time
+	// lastMetrics throttles the registry snapshot piggyback: fleet
+	// health tolerates a slightly stale snapshot, and snapshotting on
+	// every result would dominate the cost of small leases.
+	var lastMetrics time.Time
+	stamp := func(m *msg) *msg {
+		now := time.Now()
+		m.ClockNS = int64(now.Sub(epoch))
+		m.WallNS = now.UnixNano()
+		if !lastRecv.IsZero() {
+			m.TurnNS = int64(now.Sub(lastRecv))
+		}
+		return m
+	}
+
+	if err := writeMsg(conn, stamp(&msg{Type: msgHello, Name: w.Name})); err != nil {
 		return err
 	}
 	for {
@@ -160,7 +195,7 @@ func (w *Worker) serve(ctx context.Context, conn net.Conn, pullWait time.Duratio
 			_ = writeMsg(conn, &msg{Type: msgBye, Reason: "idle"})
 			return errIdleExit
 		}
-		if err := writeMsg(conn, &msg{Type: msgPull, WaitMS: pullWait.Milliseconds()}); err != nil {
+		if err := writeMsg(conn, stamp(&msg{Type: msgPull, WaitMS: pullWait.Milliseconds()})); err != nil {
 			return err
 		}
 		_ = conn.SetReadDeadline(time.Now().Add(4*pullWait + time.Minute))
@@ -168,6 +203,7 @@ func (w *Worker) serve(ctx context.Context, conn net.Conn, pullWait time.Duratio
 		if err != nil {
 			return err
 		}
+		lastRecv = time.Now()
 		switch m.Type {
 		case msgNone:
 			continue
@@ -193,16 +229,40 @@ func (w *Worker) serve(ctx context.Context, conn net.Conn, pullWait time.Duratio
 				}
 				res.Outs = encodeOuts(outs)
 			} else {
-				sp := obs.Start(ctx, "orchestra.lease")
+				// When the coordinator asks, the lease evaluates under
+				// a bounded sub-trace on the session epoch, shipped on
+				// the result for fleet-trace stitching. Telemetry only
+				// observes the evaluation — outs are identical with
+				// tracing on or off.
+				evalCtx := ctx
+				var ltr *obs.Trace
+				if m.Trace {
+					ltr = obs.NewTraceAt(epoch)
+					ltr.SetLimit(leaseTraceEvents)
+					evalCtx = obs.WithTrace(ctx, ltr)
+				}
+				sp := obs.Start(evalCtx, "orchestra.lease")
 				if sp != nil {
 					sp.Arg("lease", m.LeaseID).Arg("seeds", len(m.Seeds)).Arg("attempt", m.Attempt)
 				}
-				outs, _ := runner.RunBatch(ctx, m.Seeds) // PoolRunner never errors
+				outs, _ := runner.RunBatch(evalCtx, m.Seeds) // PoolRunner never errors
 				sp.End()
 				mEvals.Add(int64(len(outs)))
 				res.Outs = encodeOuts(outs)
+				if ltr != nil {
+					events, omitted := ltr.ExportEvents(leaseTraceEvents)
+					res.Events = events
+					res.EventsOmitted = omitted + int(ltr.Dropped())
+					// Keep the worker's own trace whole: the sub-trace
+					// shares its epoch, so a straight import aligns.
+					obs.TraceOf(ctx).ImportEvents(events)
+				}
 			}
-			if err := writeMsg(conn, res); err != nil {
+			if lastMetrics.IsZero() || time.Since(lastMetrics) >= metricsInterval {
+				res.Metrics = reg.Snapshot()
+				lastMetrics = time.Now()
+			}
+			if err := writeMsg(conn, stamp(res)); err != nil {
 				return err
 			}
 			_ = conn.SetReadDeadline(time.Now().Add(time.Minute))

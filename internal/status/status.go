@@ -50,6 +50,12 @@ type Server struct {
 	doneCh  chan struct{}
 	subs    map[int]chan fuzz.CoveragePoint
 	nextSub int
+
+	// Fleet view (see fleet.go); nil/empty unless the process is a
+	// coordinator and called SetFleetSource / PublishFleetEvent.
+	fleetSource func() any
+	fleetLog    []any
+	fleetSubs   map[int]chan any
 }
 
 // subBuffer is the per-subscriber point buffer; a subscriber that
@@ -105,6 +111,10 @@ func (s *Server) Finish() {
 		close(ch)
 		delete(s.subs, id)
 	}
+	for id, ch := range s.fleetSubs {
+		close(ch)
+		delete(s.fleetSubs, id)
+	}
 }
 
 // subscribe registers a stream subscriber, returning the backlog
@@ -135,6 +145,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/statusz/stream", s.handleStream)
+	mux.HandleFunc("/fleetz", s.handleFleetz)
+	mux.HandleFunc("/fleetz/stream", s.handleFleetStream)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

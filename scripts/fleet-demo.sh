@@ -1,0 +1,83 @@
+#!/bin/sh
+# fleet-demo: run one distributed campaign across a kondo-coord
+# coordinator and two named kondo-worker evaluators over loopback with
+# fleet tracing on, then assert two things about the observability
+# layer (DESIGN.md §13):
+#
+#   1. determinism — the distributed digest, recorded with the full
+#      telemetry path active, is bit-identical to an in-process -local
+#      baseline;
+#   2. stitching — the coordinator's single -trace-out file is a valid
+#      Chrome trace spanning at least three distinct process lanes
+#      (coordinator + both workers), which `kondo-viz -check-trace
+#      -min-pids 3` verifies.
+#
+# Open the trace in https://ui.perfetto.dev: the coordinator lane shows
+# campaign spans and lease lifecycle instants, and each worker lane the
+# lease evaluations re-based onto the coordinator's clock.
+set -eu
+
+PROGRAM="${PROGRAM:-CS2}"
+BUDGET="${BUDGET:-800}"
+SEED="${SEED:-1}"
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/fleet-demo.XXXXXX")
+pids=""
+cleanup() {
+    for pid in $pids; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "fleet-demo: building kondo-coord, kondo-worker, kondo-viz"
+go build -o "$workdir/kondo-coord" ./cmd/kondo-coord
+go build -o "$workdir/kondo-worker" ./cmd/kondo-worker
+go build -o "$workdir/kondo-viz" ./cmd/kondo-viz
+
+echo "fleet-demo: local baseline (-local, in-process)"
+"$workdir/kondo-coord" -local -program "$PROGRAM" -budget "$BUDGET" -seed "$SEED" \
+    -digest-out "$workdir/local.digest" -log-level warn
+
+echo "fleet-demo: coordinator + workers alice and bob, fleet trace on"
+"$workdir/kondo-coord" -program "$PROGRAM" -budget "$BUDGET" -seed "$SEED" \
+    -addr 127.0.0.1:0 -addr-file "$workdir/coord.addr" -span 4 \
+    -digest-out "$workdir/fleet.digest" -trace-out "$workdir/fleet-trace.json" \
+    -log-level warn -worker-wait 60s &
+coord_pid=$!
+pids="$coord_pid"
+
+# Wait for the coordinator to publish its ephemeral address.
+i=0
+while [ ! -s "$workdir/coord.addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ] || ! kill -0 "$coord_pid" 2>/dev/null; then
+        echo "fleet-demo: coordinator failed to start" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$workdir/coord.addr")
+
+"$workdir/kondo-worker" -coord "$addr" -name alice -idle-exit 5s -log-level warn &
+pids="$pids $!"
+"$workdir/kondo-worker" -coord "$addr" -name bob -idle-exit 5s -log-level warn &
+pids="$pids $!"
+
+if ! wait "$coord_pid"; then
+    echo "fleet-demo: distributed campaign failed" >&2
+    exit 1
+fi
+
+echo "fleet-demo: comparing digests (telemetry must not perturb the campaign)"
+cat "$workdir/local.digest" "$workdir/fleet.digest"
+if ! cmp -s "$workdir/local.digest" "$workdir/fleet.digest"; then
+    echo "fleet-demo: FAIL — traced distributed digest differs from local baseline" >&2
+    exit 1
+fi
+
+echo "fleet-demo: validating the stitched fleet trace (>= 3 process lanes)"
+"$workdir/kondo-viz" -check-trace "$workdir/fleet-trace.json" -min-pids 3
+echo "fleet-demo: OK — one trace file spans the coordinator and both workers"
