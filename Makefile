@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench-quick bench-json bench-check lint-prints lint-metrics-docs trace-demo orchestra-demo fleet-demo
+.PHONY: build test race vet verify bench-quick bench-json bench-check lint-prints lint-metrics-docs trace-demo orchestra-demo fleet-demo load-demo
 
 build:
 	$(GO) build ./...
@@ -63,11 +63,14 @@ bench-quick:
 # BENCH_carve.json (merge-engine pair-test reduction and speedup over
 # the naive reference on a many-hull field), and BENCH_orchestra.json
 # (distributed-campaign throughput vs worker count, lease re-issue
-# overhead, and digest bit-identity with the local baseline).
+# overhead, and digest bit-identity with the local baseline), and
+# BENCH_serve.json (recovery-plane throughput, tail latency, SLO
+# attainment, and the tracing+SLO observability overhead ratio).
 bench-json:
 	$(GO) run ./cmd/kondo-bench -exp perf -quick -json .
 	$(GO) run ./cmd/kondo-bench -exp carve -json .
 	$(GO) run ./cmd/kondo-bench -exp orchestra -quick -json .
+	$(GO) run ./cmd/kondo-bench -exp serve -quick -json .
 
 # bench-check re-runs the gated experiments with the same flags as
 # bench-json and fails when any deterministic count metric regresses
@@ -79,6 +82,7 @@ bench-check:
 	$(GO) run ./cmd/kondo-bench -exp perf -quick -check .
 	$(GO) run ./cmd/kondo-bench -exp carve -check .
 	$(GO) run ./cmd/kondo-bench -exp orchestra -quick -check .
+	$(GO) run ./cmd/kondo-bench -exp serve -quick -check .
 
 # trace-demo runs a small debloat campaign with tracing on and
 # validates the emitted Chrome trace-event JSON with the kondo-viz
@@ -100,6 +104,15 @@ orchestra-demo:
 # bit-identical to an in-process -local baseline.
 fleet-demo:
 	./scripts/fleet-demo.sh
+
+# load-demo drives a kondo-serve origin with the kondo-load harness
+# over loopback: wire-propagated trace contexts must stitch into one
+# 2-pid Chrome trace (kondo-viz -check-trace -min-pids 2 verifies),
+# the soak loop must find the origin's error budget intact, SIGTERM
+# must drain gracefully, and the committed BENCH_serve.json baseline
+# must still pass the regression gate.
+load-demo:
+	./scripts/load-demo.sh
 
 TRACE_DEMO_OUT ?= trace-demo.json
 trace-demo:

@@ -1,0 +1,219 @@
+// Command kondo-load is the heavy-traffic harness for the recovery
+// plane: it drives a kondo-serve origin through the real caching
+// client in open-loop (fixed arrival rate) or closed-loop (fixed
+// concurrency) mode and reports throughput, exact tail-latency
+// quantiles, cache hit rate, and — in soak mode — whether the origin's
+// error budget survived the run.
+//
+//	kondo-load -url http://127.0.0.1:8080 -requests 10000 -concurrency 16
+//	kondo-load -url http://127.0.0.1:8080 -mode open -rate 500 -duration 10s
+//	kondo-load -url ... -popularity uniform -warmup 1000 -json result.json
+//	kondo-load -url ... -stages "req=500:conc=2,req=2000:conc=8"   # ramp
+//	kondo-load -url ... -duration 60s -soak-interval 5s            # soak
+//	kondo-load -url ... -requests 5000 -trace-out stitched.json    # 2-pid trace
+//
+// With -trace-out the run records every client fetch span (retry,
+// cache verdict, singleflight) into a trace, stamps each request's
+// trace context onto the wire, then pulls the server's /tracez export
+// and stitches it in under pid 2 — one Chrome/Perfetto file covering
+// both processes, checkable with kondo-viz -check-trace -min-pids 2.
+//
+// Exit status: 0 on success, 1 when the run errored or any soak poll
+// found an exhausted error budget, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "", "base URL of the kondo-serve origin (e.g. http://127.0.0.1:8080)")
+		dataset     = flag.String("dataset", "data", "dataset to drive")
+		mode        = flag.String("mode", "closed", "load mode: closed (fixed concurrency) or open (fixed arrival rate)")
+		popularity  = flag.String("popularity", "zipf", "chunk popularity: zipf or uniform")
+		zipfS       = flag.Float64("zipf-s", 1.2, "Zipf skew parameter (> 1)")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate in requests/second")
+		concurrency = flag.Int("concurrency", 8, "worker count (closed) / in-flight cap (open)")
+		requests    = flag.Int("requests", 0, "bound the run by request count")
+		duration    = flag.Duration("duration", 0, "bound the run by wall time")
+		stagesArg   = flag.String("stages", "", "ramp schedule: comma-separated stages of colon-joined k=v pairs (keys: rate, conc, req, dur); unset keys inherit the top-level flags")
+		warmup      = flag.Int("warmup", 0, "requests issued before the measurement window (warm cache); 0 measures cold")
+		seed        = flag.Int64("seed", 0, "popularity rng seed (0 = from clock)")
+		soakEvery   = flag.Duration("soak-interval", 0, "poll the origin's /sloz at this interval and fail if any error budget is exhausted")
+		jsonOut     = flag.String("json", "", "optional: write the result JSON to this file")
+		traceOut    = flag.String("trace-out", "", "optional: write a stitched client+server Chrome trace to this file")
+		dumpMetrics = flag.Bool("dump-metrics", false, "print the kondo_load_* Prometheus exposition after the run")
+		logLevel    = flag.String("log-level", "info", "diagnostic log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
+	)
+	flag.Parse()
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "usage: kondo-load -url http://host:port [-requests N | -duration D]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	log, err := obs.SetupCLILogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kondo-load:", err)
+		os.Exit(2)
+	}
+
+	stages, err := parseStages(*stagesArg)
+	if err != nil {
+		log.Error("bad -stages", "err", err)
+		os.Exit(2)
+	}
+
+	reg := obs.NewRegistry()
+	cfg := load.Config{
+		BaseURL:      strings.TrimSuffix(*url, "/"),
+		Dataset:      *dataset,
+		Mode:         load.Mode(*mode),
+		Popularity:   load.Popularity(*popularity),
+		ZipfS:        *zipfS,
+		Rate:         *rate,
+		Concurrency:  *concurrency,
+		Requests:     *requests,
+		Duration:     *duration,
+		Stages:       stages,
+		Warmup:       *warmup,
+		Seed:         *seed,
+		SoakInterval: *soakEvery,
+		Registry:     reg,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// With -trace-out every request records into tr (and stamps its
+	// trace context onto the wire for the server's child spans).
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		tr.SetProcessName(obs.LocalPID, "kondo-load")
+		ctx = obs.WithTrace(ctx, tr)
+	}
+
+	log.Info("kondo-load starting", "url", cfg.BaseURL, "mode", *mode,
+		"popularity", *popularity, "requests", *requests, "duration", duration.String())
+	res, err := load.Run(ctx, cfg)
+	if err != nil {
+		log.Error("load run failed", "err", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.String())
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			log.Error("writing result json", "path", *jsonOut, "err", err)
+			os.Exit(1)
+		}
+		log.Info("result written", "path", *jsonOut)
+	}
+
+	if tr != nil {
+		stitchAndWrite(log, tr, cfg.BaseURL, *traceOut)
+	}
+	if *dumpMetrics {
+		_ = reg.WritePrometheus(os.Stdout)
+	}
+	if res.SoakViolations > 0 {
+		log.Error("error budget exhausted during soak",
+			"violations", res.SoakViolations, "polls", res.SoakPolls)
+		os.Exit(1)
+	}
+}
+
+// stitchAndWrite pulls the origin's /tracez export, merges it into the
+// client trace under pid 2, and writes the combined Chrome trace. A
+// missing /tracez (server started without tracing) degrades to a
+// single-pid trace with a warning rather than failing the run.
+func stitchAndWrite(log interface {
+	Info(string, ...any)
+	Warn(string, ...any)
+}, tr *obs.Trace, baseURL, path string) {
+	resp, err := http.Get(baseURL + "/tracez")
+	if err != nil {
+		log.Warn("fetching /tracez", "err", err)
+	} else {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Warn("origin has no trace to stitch (start kondo-serve with -trace)", "status", resp.Status)
+		} else {
+			var wt obs.WireTrace
+			if err := json.NewDecoder(resp.Body).Decode(&wt); err != nil {
+				log.Warn("decoding /tracez", "err", err)
+			} else {
+				tr.MergeWire(2, wt)
+				if wt.Omitted > 0 || wt.Dropped > 0 {
+					log.Warn("server trace truncated", "omitted", wt.Omitted, "dropped", wt.Dropped)
+				}
+			}
+		}
+	}
+	if err := tr.WriteFile(path); err != nil {
+		log.Warn("writing trace", "path", path, "err", err)
+		return
+	}
+	log.Info("stitched trace written", "path", path, "events", tr.Len(), "pids", len(tr.PIDs()))
+}
+
+// parseStages decodes the -stages grammar: stages separated by commas,
+// each a colon-joined list of k=v pairs. Example:
+// "rate=100:dur=2s,rate=400:dur=2s" ramps an open-loop run.
+func parseStages(s string) ([]load.Stage, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []load.Stage
+	for i, stanza := range strings.Split(s, ",") {
+		var st load.Stage
+		for _, pair := range strings.Split(stanza, ":") {
+			k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				return nil, fmt.Errorf("stage %d: %q is not k=v", i, pair)
+			}
+			switch k {
+			case "rate":
+				if _, err := fmt.Sscanf(v, "%g", &st.Rate); err != nil {
+					return nil, fmt.Errorf("stage %d: bad rate %q", i, v)
+				}
+			case "conc":
+				if _, err := fmt.Sscanf(v, "%d", &st.Concurrency); err != nil {
+					return nil, fmt.Errorf("stage %d: bad conc %q", i, v)
+				}
+			case "req":
+				if _, err := fmt.Sscanf(v, "%d", &st.Requests); err != nil {
+					return nil, fmt.Errorf("stage %d: bad req %q", i, v)
+				}
+			case "dur":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return nil, fmt.Errorf("stage %d: bad dur %q: %v", i, v, err)
+				}
+				st.Duration = d
+			default:
+				return nil, fmt.Errorf("stage %d: unknown key %q (want rate, conc, req, dur)", i, k)
+			}
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

@@ -196,6 +196,7 @@ var registry = map[string]struct {
 	"perf":      {"End-to-end pipeline performance (machine-readable trajectory)", Perf},
 	"carve":     {"Carve merge engine vs naive reference (output sensitivity)", Carve},
 	"orchestra": {"Distributed campaign orchestrator (throughput, re-issue, bit-identity)", Orchestra},
+	"serve":     {"Recovery plane under load (throughput, tail latency, SLO, tracing overhead)", Serve},
 }
 
 // Experiments returns the available experiment ids, sorted.

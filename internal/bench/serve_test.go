@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestServeMetricsContract pins the serving experiment's
+// machine-readable surface: the closed-loop counts are exact, the
+// stitched client+server trace spans both pids, and the gated overhead
+// copy is floored at the serving observability budget.
+func TestServeMetricsContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives ten loopback load runs; skipped in -short")
+	}
+	opts := QuickOptions()
+	opts.Seed = 12345
+	rep, err := Run(context.Background(), "serve", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"requests", "errors", "trace_pids",
+		"throughput_rps", "p50_ms", "p95_ms", "p99_ms",
+		"cache_hit_rate", "slo_attainment", "slo_budget_used",
+		"serve_overhead", "serve_overhead_gated",
+	} {
+		if _, ok := rep.Metrics[key]; !ok {
+			t.Errorf("metric %q missing", key)
+		}
+	}
+	if rep.Metrics["requests"] != 2500 {
+		t.Errorf("requests = %v, want exactly 2500 (quick closed loop)", rep.Metrics["requests"])
+	}
+	if rep.Metrics["errors"] != 0 {
+		t.Errorf("errors = %v", rep.Metrics["errors"])
+	}
+	if rep.Metrics["trace_pids"] != 2 {
+		t.Errorf("stitched trace spans %v pids, want 2", rep.Metrics["trace_pids"])
+	}
+	if rep.Metrics["serve_overhead_gated"] < serveOverheadFloor {
+		t.Errorf("gated overhead %v below the %v floor", rep.Metrics["serve_overhead_gated"], serveOverheadFloor)
+	}
+	if rep.Metrics["slo_attainment"] <= 0 || rep.Metrics["slo_attainment"] > 1 {
+		t.Errorf("slo_attainment = %v outside (0,1]", rep.Metrics["slo_attainment"])
+	}
+	if rep.Metrics["throughput_rps"] <= 0 {
+		t.Errorf("throughput = %v", rep.Metrics["throughput_rps"])
+	}
+	if len(rep.Rows) != 2 {
+		t.Errorf("rows = %d, want plain + traced+slo", len(rep.Rows))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -114,8 +115,15 @@ type Fetcher struct {
 	cache  *chunkCache
 	flight *flightGroup
 
+	// rng drives the retry backoff's full jitter; it is deliberately
+	// per-fetcher (not the global source) so seeding elsewhere in the
+	// process stays deterministic.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
 	elements, roundTrips, retries   atomic.Int64
 	cacheHits, cacheMisses, flShare atomic.Int64
+	tracePropagated                 atomic.Int64
 }
 
 // NewFetcher returns a fetcher against the origin's base URL (e.g.
@@ -139,6 +147,7 @@ func NewFetcherConfig(baseURL string, httpClient *http.Client, cfg FetcherConfig
 		geoms:   make(map[string]*dsGeom),
 		cache:   newChunkCache(cfg.MaxCacheBytes),
 		flight:  newFlightGroup(),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
 
@@ -166,6 +175,8 @@ func (f *Fetcher) Register(reg *obs.Registry) {
 	reg.CounterFunc("kondo_fetch_cache_hits_total", f.cacheHits.Load)
 	reg.CounterFunc("kondo_fetch_cache_misses_total", f.cacheMisses.Load)
 	reg.CounterFunc("kondo_fetch_flight_shared_total", f.flShare.Load)
+	reg.SetHelp("kondo_fetch_trace_propagated_total", "Outgoing origin requests stamped with a propagated trace context.")
+	reg.CounterFunc("kondo_fetch_trace_propagated_total", f.tracePropagated.Load)
 	reg.SetHelp("kondo_fetch_cache_entries", "Chunks currently resident in the client cache.")
 	reg.GaugeFunc("kondo_fetch_cache_entries", func() float64 { return float64(f.cache.len()) })
 	reg.GaugeFunc("kondo_fetch_cache_bytes", func() float64 { return float64(f.cache.bytes()) })
@@ -191,14 +202,30 @@ func (f *Fetcher) FetchContext(ctx context.Context, dataset string, ix array.Ind
 	if err != nil {
 		return 0, fmt.Errorf("dataserve: fetch %v of %q: %w", ix, dataset, err)
 	}
-	sp := obs.Start(ctx, "dataserve.fetch")
-	vals, hit, err := f.chunk(ctx, dataset, g, cc)
-	if sp != nil {
-		sp.Arg("dataset", dataset).Arg("cache", cacheVerdict(hit))
-	}
-	sp.End()
-	if err != nil {
-		return 0, err
+	// Cache hits never touch the wire, so they skip tracing entirely: a
+	// span would cost more than the microsecond lookup it describes,
+	// and there is no request to propagate a context onto. Tracing cost
+	// therefore scales with origin round trips, not recovery calls.
+	vals, hit := f.cachedChunk(dataset, g, cc)
+	if !hit {
+		// Mint (or keep) the request's trace context before the fetch
+		// span so the ids it stamps on the wire appear on the client
+		// span too — the key a stitched multi-pid trace is joined on.
+		var tc obs.TraceContext
+		var traced bool
+		ctx, tc, traced = obs.EnsureTraceContext(ctx)
+		sp := obs.Start(ctx, "dataserve.fetch")
+		if sp != nil && traced {
+			sp.Arg("trace_id", tc.TraceID).Arg("span_id", tc.SpanID)
+		}
+		vals, hit, err = f.chunk(ctx, dataset, g, cc)
+		if sp != nil {
+			sp.Arg("dataset", dataset).Arg("cache", cacheVerdict(hit))
+		}
+		sp.End()
+		if err != nil {
+			return 0, err
+		}
 	}
 	start, count := chunkSlab(g.space, g.chunk, cc)
 	// Row-major offset of ix within the clipped chunk slab.
@@ -220,6 +247,12 @@ func (f *Fetcher) FetchContext(ctx context.Context, dataset string, ix array.Ind
 func (f *Fetcher) FetchSlab(ctx context.Context, dataset string, start, count []int) ([]float64, error) {
 	ctx, cancel := context.WithTimeout(ctx, f.cfg.FetchTimeout)
 	defer cancel()
+	ctx, tc, traced := obs.EnsureTraceContext(ctx)
+	sp := obs.Start(ctx, "dataserve.slab")
+	if sp != nil && traced {
+		sp.Arg("trace_id", tc.TraceID).Arg("span_id", tc.SpanID)
+	}
+	defer sp.End()
 	body, err := json.Marshal(slabRequest{Dataset: dataset, Start: start, Count: count})
 	if err != nil {
 		return nil, err
@@ -292,6 +325,19 @@ func cacheVerdict(hit bool) string {
 	return "miss"
 }
 
+// cachedChunk is the untraced fast path: one cache lookup, no wire.
+func (f *Fetcher) cachedChunk(dataset string, g *dsGeom, cc array.Index) ([]float64, bool) {
+	lin, err := g.grid.ChunkLinear(cc)
+	if err != nil {
+		return nil, false
+	}
+	vals, ok := f.cache.get(dataset + "\x00" + strconv.FormatInt(lin, 10))
+	if ok {
+		f.cacheHits.Add(1)
+	}
+	return vals, ok
+}
+
 // chunk returns the values of one serving chunk, from cache when
 // possible (hit reports a cache hit), collapsing concurrent misses
 // onto one request.
@@ -343,6 +389,7 @@ func (f *Fetcher) jsonRequest(ctx context.Context, url string) ([]byte, error) {
 		if err != nil {
 			return false, err
 		}
+		f.stampTraceContext(actx, req)
 		resp, err := f.http.Do(req)
 		if err != nil {
 			return true, err
@@ -374,6 +421,7 @@ func (f *Fetcher) frameRequest(ctx context.Context, method, url string, body []b
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		f.stampTraceContext(actx, req)
 		resp, err := f.http.Do(req)
 		if err != nil {
 			return true, err
@@ -391,6 +439,16 @@ func (f *Fetcher) frameRequest(ctx context.Context, method, url string, body []b
 	return vals, err
 }
 
+// stampTraceContext propagates the fetch's trace context onto an
+// outgoing request as additive headers (old servers ignore them),
+// letting the origin open child spans under the caller's trace.
+func (f *Fetcher) stampTraceContext(ctx context.Context, req *http.Request) {
+	if tc, ok := obs.TraceContextOf(ctx); ok {
+		tc.Inject(req.Header)
+		f.tracePropagated.Add(1)
+	}
+}
+
 // withRetries runs attempt with per-attempt timeouts and exponential
 // backoff until it succeeds, fails terminally, or the context (which
 // carries the overall fetch deadline) dies. Exhausted retries against
@@ -402,10 +460,7 @@ func (f *Fetcher) withRetries(ctx context.Context, attempt func(context.Context)
 	for try := 0; try < f.cfg.MaxAttempts; try++ {
 		if try > 0 {
 			f.retries.Add(1)
-			backoff := f.cfg.RetryBase << (try - 1)
-			if backoff > f.cfg.RetryMax {
-				backoff = f.cfg.RetryMax
-			}
+			backoff := f.backoffDelay(try)
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():
@@ -430,6 +485,29 @@ func (f *Fetcher) withRetries(ctx context.Context, attempt func(context.Context)
 	}
 	return fmt.Errorf("%w: origin unreachable after %d attempts: %v",
 		sdf.ErrDataMissing, f.cfg.MaxAttempts, lastErr)
+}
+
+// backoffDelay returns the sleep before attempt try (1-based retry
+// index): full jitter over a capped exponential ceiling, so a fleet of
+// clients that all lost the same flapping origin spreads its retries
+// instead of hammering it in lockstep (the thundering-herd fix — AWS
+// architecture blog's "full jitter" variant, which has the best
+// tail-collision behaviour of the standard options).
+func (f *Fetcher) backoffDelay(try int) time.Duration {
+	ceiling := f.cfg.RetryMax
+	// Compare by shifting the cap down rather than the base up: the
+	// base shifted left can overflow for large try, the cap shifted
+	// right cannot.
+	if shift := uint(try - 1); shift < 63 && f.cfg.RetryBase <= ceiling>>shift {
+		ceiling = f.cfg.RetryBase << shift
+	}
+	if ceiling <= 0 {
+		return 0
+	}
+	f.rngMu.Lock()
+	d := time.Duration(f.rng.Int63n(int64(ceiling) + 1))
+	f.rngMu.Unlock()
+	return d
 }
 
 // retryStatus reports whether an HTTP status is worth retrying:

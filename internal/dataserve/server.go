@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/array"
@@ -57,6 +58,24 @@ type Server struct {
 	file *sdf.File
 	sets map[string]*serving
 	rec  *metrics.ServeRecorder
+
+	// draining flips /healthz to 503 during graceful shutdown so load
+	// balancers stop routing before in-flight requests finish.
+	draining atomic.Bool
+	// trace, when set via EnableTracing, records one serve.<endpoint>
+	// span per request and backs the /tracez export.
+	trace atomic.Pointer[serverTrace]
+	// slo, when set via SetSLO, backs the /sloz report.
+	slo atomic.Pointer[obs.SLO]
+	// traceRequests counts requests that arrived with a propagated
+	// trace context (whether or not local recording is on).
+	traceRequests atomic.Int64
+}
+
+// serverTrace pairs the server's trace with its exported lane name.
+type serverTrace struct {
+	tr   *obs.Trace
+	name string
 }
 
 // NewServer opens the origin file and precomputes serving geometry
@@ -79,6 +98,16 @@ func NewServerWithRecorder(originPath string, rec *metrics.ServeRecorder) (*Serv
 	}
 	obs.RegisterBuildInfo(rec.Registry())
 	s := &Server{file: f, sets: make(map[string]*serving), rec: rec}
+	reg := rec.Registry()
+	reg.SetHelp("kondo_serve_trace_requests_total", "Requests that arrived carrying a propagated trace context.")
+	reg.CounterFunc("kondo_serve_trace_requests_total", s.traceRequests.Load)
+	reg.SetHelp("kondo_serve_draining", "1 while the server is draining (healthz returns 503).")
+	reg.GaugeFunc("kondo_serve_draining", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
 	for _, name := range f.Names() {
 		ds, err := f.Dataset(name)
 		if err != nil {
@@ -160,6 +189,33 @@ func (s *Server) Metrics() metrics.ServeStats { return s.rec.Snapshot() }
 // exposition.
 func (s *Server) Registry() *obs.Registry { return s.rec.Registry() }
 
+// Recorder exposes the server's metrics recorder, so a daemon can wire
+// per-endpoint SLO sources off the same instruments the handlers feed.
+func (s *Server) Recorder() *metrics.ServeRecorder { return s.rec }
+
+// EnableTracing starts recording one serve.<endpoint> span per request
+// into tr and exposes the result at /tracez under the given lane name.
+// A nil tr disables tracing again.
+func (s *Server) EnableTracing(tr *obs.Trace, name string) {
+	if tr == nil {
+		s.trace.Store(nil)
+		return
+	}
+	s.trace.Store(&serverTrace{tr: tr, name: name})
+}
+
+// SetSLO attaches an SLO engine; its live report becomes the /sloz
+// body. The caller owns ticking the engine (obs.SLO.Run).
+func (s *Server) SetSLO(slo *obs.SLO) { s.slo.Store(slo) }
+
+// SetDraining flips the drain flag: once true, /healthz answers 503 so
+// load balancers route away while in-flight requests complete. Flag it
+// before http.Server.Shutdown and give the balancer a beat to notice.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports the drain flag.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Handler returns the HTTP handler exposing the wire protocol.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -170,12 +226,52 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/slab", s.instrument("slab", s.handleSlab))
 	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/buildz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, obs.Build())
 	})
+	mux.HandleFunc("/tracez", s.handleTracez)
+	mux.HandleFunc("/sloz", s.handleSloz)
 	return mux
+}
+
+// handleTracez exports the server's trace as a self-describing
+// obs.WireTrace, the server half of a stitched client+server trace: a
+// load client merges the body into its own trace under a second pid.
+// 404 until EnableTracing. ?max=N bounds the event count.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	st := s.trace.Load()
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "dataserve: tracing not enabled"})
+		return
+	}
+	max := 0
+	if arg := r.URL.Query().Get("max"); arg != "" {
+		v, err := strconv.Atoi(arg)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("dataserve: bad max %q", arg))
+			return
+		}
+		max = v
+	}
+	writeJSON(w, http.StatusOK, st.tr.ExportWire(st.name, max))
+}
+
+// handleSloz reports the attached SLO engine's live evaluation (404
+// until SetSLO).
+func (s *Server) handleSloz(w http.ResponseWriter, r *http.Request) {
+	slo := s.slo.Load()
+	if slo == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "dataserve: no SLO configured"})
+		return
+	}
+	writeJSON(w, http.StatusOK, slo.Report(time.Now()))
 }
 
 // countingWriter captures the status code and payload size of one
@@ -199,13 +295,31 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 
 // instrument wraps a handler with latency/byte/error recording under
 // the given endpoint name, and emits one serve.<endpoint> span per
-// request when the request context carries a trace.
+// request when tracing is enabled (or the request context already
+// carries a trace, as in-process tests do). A propagated trace context
+// on the request headers opens the span as a child hop: same trace id,
+// the caller's span id recorded as parent_span_id.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
-		sp := obs.Start(r.Context(), "serve."+endpoint)
-		h(cw, r)
+		ctx := r.Context()
+		if st := s.trace.Load(); st != nil {
+			ctx = obs.WithTrace(ctx, st.tr)
+		}
+		var sp *obs.Span
+		if parent, ok := obs.ExtractTraceContext(r.Header); ok {
+			s.traceRequests.Add(1)
+			child := parent.Child()
+			ctx = obs.WithTraceContext(ctx, child)
+			sp = obs.Start(ctx, "serve."+endpoint,
+				obs.A("trace_id", child.TraceID),
+				obs.A("parent_span_id", parent.SpanID),
+				obs.A("span_id", child.SpanID))
+		} else {
+			sp = obs.Start(ctx, "serve."+endpoint)
+		}
+		h(cw, r.WithContext(ctx))
 		if sp != nil {
 			sp.Arg("status", cw.status).Arg("bytes", cw.bytes)
 		}

@@ -126,3 +126,53 @@ func (t *Trace) MergeRemote(pid int, name string, clockOffset time.Duration, eve
 func (t *Trace) ImportEvents(events []WireEvent) {
 	t.MergeRemote(LocalPID, "", 0, events)
 }
+
+// WireTrace is a self-describing exported trace: the events plus the
+// epoch they are relative to and the process's display name, so a peer
+// can merge them without out-of-band clock agreement. It is the JSON
+// body of the recovery plane's /tracez endpoint; all fields are
+// additive, so old decoders that only know Events keep working.
+type WireTrace struct {
+	// ProcessName labels the exporting process's lane in the merged
+	// trace (e.g. "kondo-serve").
+	ProcessName string `json:"process_name,omitempty"`
+	// EpochUnixNS is the exporter's trace epoch as a Unix timestamp in
+	// nanoseconds; event TS values are relative to it.
+	EpochUnixNS int64 `json:"epoch_unix_ns"`
+	// Events are the retained events in recorded order.
+	Events []WireEvent `json:"events"`
+	// Omitted counts retained events cut by the export bound; Dropped
+	// counts events the exporter discarded over its buffer limit.
+	Omitted int   `json:"omitted,omitempty"`
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// ExportWire snapshots the trace as a self-describing WireTrace named
+// name; max bounds the event count as in ExportEvents. Nil-safe
+// (returns a zero WireTrace).
+func (t *Trace) ExportWire(name string, max int) WireTrace {
+	if t == nil {
+		return WireTrace{ProcessName: name}
+	}
+	events, omitted := t.ExportEvents(max)
+	return WireTrace{
+		ProcessName: name,
+		EpochUnixNS: t.Epoch().UnixNano(),
+		Events:      events,
+		Omitted:     omitted,
+		Dropped:     t.Dropped(),
+	}
+}
+
+// MergeWire splices a self-describing exported trace into t under the
+// given pid, deriving the clock offset from the two epochs' wall
+// clocks — exact on one machine (the load-demo loopback case), and
+// within wall-clock skew across machines (peers needing better use the
+// orchestra's min-RTT estimate with MergeRemote directly). Nil-safe.
+func (t *Trace) MergeWire(pid int, wt WireTrace) {
+	if t == nil {
+		return
+	}
+	offset := time.Unix(0, wt.EpochUnixNS).Sub(t.Epoch())
+	t.MergeRemote(pid, wt.ProcessName, offset, wt.Events)
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestExportWireMergeWireStitches(t *testing.T) {
+	base := time.Now()
+
+	// "Server" trace: its epoch lags the client's by 5ms of wall clock.
+	server := NewTraceAt(base.Add(5 * time.Millisecond))
+	sctx := WithTrace(context.Background(), server)
+	sp := Start(sctx, "serve.chunk", A("chunk", 7))
+	sp.End()
+	server.RecordInstant("serve.evict", 0)
+
+	wt := server.ExportWire("kondo-serve", 0)
+	if wt.ProcessName != "kondo-serve" {
+		t.Fatalf("ProcessName = %q", wt.ProcessName)
+	}
+	if wt.EpochUnixNS != server.Epoch().UnixNano() {
+		t.Fatalf("EpochUnixNS = %d want %d", wt.EpochUnixNS, server.Epoch().UnixNano())
+	}
+	if len(wt.Events) != 2 {
+		t.Fatalf("exported %d events, want 2", len(wt.Events))
+	}
+	// The server epoch sits ~5ms in the future of the span's actual
+	// start, so the exported epoch-relative TS is negative — exactly
+	// what MergeWire's epoch-delta offset must undo.
+	if wt.Events[0].TS > -4*int64(time.Millisecond) {
+		t.Fatalf("exported TS = %dns, want <= -4ms (epoch in the future)", wt.Events[0].TS)
+	}
+
+	// Round-trip through JSON as the /tracez endpoint would.
+	raw, err := json.Marshal(wt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WireTrace
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Client" trace merges it under pid 2.
+	client := NewTraceAt(base)
+	cctx := WithTrace(context.Background(), client)
+	Start(cctx, "dataserve.fetch").End()
+	client.MergeWire(2, back)
+
+	if got := client.Len(); got != 3 {
+		t.Fatalf("merged trace has %d events, want 3", got)
+	}
+	pids := client.PIDs()
+	if len(pids) != 2 || pids[0] != LocalPID || pids[1] != 2 {
+		t.Fatalf("PIDs = %v, want [1 2]", pids)
+	}
+
+	// The merged export re-bases the remote events by the epoch delta
+	// and labels the lane.
+	var buf bytes.Buffer
+	if err := client.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TS   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	foundName, foundServe := false, false
+	for _, e := range out.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" && e.PID == 2 {
+			foundName = true
+			if e.Args["name"] != "kondo-serve" {
+				t.Fatalf("lane label = %v", e.Args["name"])
+			}
+		}
+		if e.Name == "serve.chunk" {
+			foundServe = true
+			if e.PID != 2 {
+				t.Fatalf("serve.chunk on pid %d, want 2", e.PID)
+			}
+			// MergeWire's epoch-delta offset cancels the negative raw TS:
+			// the merged timestamp is the span's true wall time relative
+			// to the client epoch — near zero, not -5ms.
+			if e.TS < 0 || e.TS > 4000 {
+				t.Fatalf("serve.chunk ts = %vus, want re-based into [0, 4ms)", e.TS)
+			}
+		}
+	}
+	if !foundName || !foundServe {
+		t.Fatalf("missing merged lane (name=%v serve=%v)", foundName, foundServe)
+	}
+}
+
+func TestExportWireNilAndBounds(t *testing.T) {
+	var nilTrace *Trace
+	wt := nilTrace.ExportWire("x", 0)
+	if wt.ProcessName != "x" || len(wt.Events) != 0 {
+		t.Fatalf("nil export: %+v", wt)
+	}
+	nilTrace.MergeWire(2, wt) // must not panic
+
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	for i := 0; i < 5; i++ {
+		Start(ctx, "s").End()
+	}
+	wt = tr.ExportWire("svc", 3)
+	if len(wt.Events) != 3 || wt.Omitted != 2 {
+		t.Fatalf("bounded export: events=%d omitted=%d", len(wt.Events), wt.Omitted)
+	}
+}

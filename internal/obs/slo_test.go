@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	bounds := []float64{0.1, 0.2, 0.4, 0.8}
+	// 10 observations uniformly in the first bucket, 10 in the second.
+	counts := []int64{10, 10, 0, 0, 0}
+	if got := HistogramQuantile(bounds, counts, 0.5); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.1", got)
+	}
+	// p75 = rank 15 → halfway through bucket (0.1, 0.2].
+	if got := HistogramQuantile(bounds, counts, 0.75); math.Abs(got-0.15) > 1e-9 {
+		t.Fatalf("p75 = %v, want 0.15", got)
+	}
+	// Quantile in the overflow bucket clamps to the last bound.
+	over := []int64{0, 0, 0, 0, 10}
+	if got := HistogramQuantile(bounds, over, 0.99); got != 0.8 {
+		t.Fatalf("overflow quantile = %v, want 0.8", got)
+	}
+	// Empty histogram.
+	if got := HistogramQuantile(bounds, []int64{0, 0, 0, 0, 0}, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestSLOReportWindowAndBudget(t *testing.T) {
+	reg := NewRegistry()
+	hist := reg.Histogram("lat", []float64{0.01, 0.05, 0.1, 0.5})
+	reqs := reg.Counter("reqs")
+	errs := reg.Counter("errs")
+
+	slo := NewSLO(time.Minute, SLOObjective{
+		Name:         "chunk",
+		Quantile:     0.99,
+		LatencyBound: 100 * time.Millisecond,
+		Target:       0.9,
+		Source: SLOSource{
+			Requests: reqs.Value,
+			Errors:   errs.Value,
+			Latency:  hist,
+		},
+	})
+
+	now := time.Now()
+	// Pre-window traffic: all slow. Ticking after it establishes the
+	// window base, so the report must exclude it.
+	for i := 0; i < 50; i++ {
+		hist.Observe(0.4)
+		reqs.Inc()
+	}
+	slo.Tick(now)
+
+	// Window traffic: 90 fast, 8 slow, 2 errors (errors also counted as
+	// requests, fast).
+	for i := 0; i < 92; i++ {
+		hist.Observe(0.005)
+		reqs.Inc()
+	}
+	for i := 0; i < 8; i++ {
+		hist.Observe(0.4)
+		reqs.Inc()
+	}
+	errs.Add(2)
+
+	rep := slo.Report(now.Add(time.Second))
+	o := rep.Objective("chunk")
+	if o.Requests != 100 {
+		t.Fatalf("window requests = %d, want 100 (pre-window excluded)", o.Requests)
+	}
+	if o.Errors != 2 {
+		t.Fatalf("window errors = %d", o.Errors)
+	}
+	if o.BadEvents != 10 {
+		t.Fatalf("bad events = %d, want 8 slow + 2 errors", o.BadEvents)
+	}
+	if math.Abs(o.Attainment-0.9) > 1e-9 {
+		t.Fatalf("attainment = %v, want 0.9", o.Attainment)
+	}
+	// Budget: (1-0.9)*100 = 10 allowed, 10 bad → exactly exhausted.
+	if math.Abs(o.ErrorBudgetUsed-1) > 1e-9 || !o.Exhausted {
+		t.Fatalf("budget used = %v exhausted=%v, want 1 true", o.ErrorBudgetUsed, o.Exhausted)
+	}
+	if !rep.Exhausted() {
+		t.Fatal("report not exhausted")
+	}
+	// p50 of the window should land in the fast bucket.
+	if o.P50Seconds > 0.01 {
+		t.Fatalf("window p50 = %v, want <= 0.01", o.P50Seconds)
+	}
+	// p999 should land in the slow region.
+	if o.P999Seconds < 0.1 {
+		t.Fatalf("window p999 = %v, want >= 0.1", o.P999Seconds)
+	}
+
+	// The report must be JSON-encodable even at extreme burn.
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not JSON-encodable: %v", err)
+	}
+}
+
+func TestSLOEmptyWindowAndZeroBudget(t *testing.T) {
+	reg := NewRegistry()
+	hist := reg.Histogram("lat", []float64{0.01, 0.1})
+	slo := NewSLO(time.Minute, SLOObjective{
+		Name:         "idle",
+		LatencyBound: 10 * time.Millisecond,
+		Target:       0.99,
+		Source:       SLOSource{Latency: hist},
+	})
+	rep := slo.Report(time.Now())
+	o := rep.Objective("idle")
+	if o.Attainment != 1 || o.Exhausted || o.ErrorBudgetUsed != 0 {
+		t.Fatalf("empty window: %+v", o)
+	}
+
+	// One bad request against a (1-target)*1 < 1 budget must cap, not
+	// emit +Inf, and still marshal.
+	hist.Observe(5)
+	rep = slo.Report(time.Now())
+	o = rep.Objective("idle")
+	if !o.Exhausted || o.ErrorBudgetUsed <= 1 {
+		t.Fatalf("tiny-budget burn: %+v", o)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if strings.Contains(string(raw), "Inf") {
+		t.Fatalf("JSON carries Inf: %s", raw)
+	}
+}
+
+func TestSLOTickEviction(t *testing.T) {
+	reg := NewRegistry()
+	hist := reg.Histogram("lat", []float64{0.01})
+	slo := NewSLO(10*time.Second, SLOObjective{
+		Name:         "e",
+		LatencyBound: time.Second,
+		Target:       0.5,
+		Source:       SLOSource{Latency: hist},
+	})
+	base := time.Now()
+	// Old traffic, then ticks that should push it out of the window.
+	hist.Observe(0.001)
+	hist.Observe(0.001)
+	slo.Tick(base)
+	slo.Tick(base.Add(5 * time.Second))
+	slo.Tick(base.Add(11 * time.Second)) // base tick falls out; 5s tick becomes base
+	hist.Observe(0.001)
+	rep := slo.Report(base.Add(12 * time.Second))
+	o := rep.Objective("e")
+	if o.Requests != 1 {
+		t.Fatalf("window requests = %d, want 1 (old traffic evicted)", o.Requests)
+	}
+}
+
+func TestSLORegisterExposesGauges(t *testing.T) {
+	reg := NewRegistry()
+	hist := reg.Histogram("lat", []float64{0.01, 0.1})
+	slo := NewSLO(time.Minute, SLOObjective{
+		Name:         "chunk",
+		Quantile:     0.95,
+		LatencyBound: 50 * time.Millisecond,
+		Target:       0.99,
+		Source:       SLOSource{Latency: hist},
+	})
+	slo.Register(reg)
+	hist.Observe(0.005)
+	slo.Tick(time.Now())
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"kondo_slo_attainment",
+		"kondo_slo_error_budget_used",
+		"kondo_slo_quantile_seconds",
+		"kondo_slo_window_requests",
+		"kondo_slo_exhausted",
+		"kondo_slo_ticks_total",
+		"kondo_slo_breaches_total",
+		`objective="chunk"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Nil engine registration and ticking are no-ops.
+	var nilSLO *SLO
+	nilSLO.Register(reg)
+	nilSLO.Tick(time.Now())
+	if rep := nilSLO.Report(time.Now()); len(rep.Objectives) != 0 {
+		t.Fatalf("nil report: %+v", rep)
+	}
+}

@@ -117,6 +117,34 @@ func (t *Trace) Len() int {
 	return len(t.events)
 }
 
+// PIDs returns the distinct process lanes of the retained events plus
+// any named lanes, sorted — a stitched trace's lane count without a
+// full export. Nil-safe (returns nil).
+func (t *Trace) PIDs() []int {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	set := make(map[int]bool, 2)
+	for _, e := range t.events {
+		pid := e.pid
+		if pid == 0 {
+			pid = LocalPID
+		}
+		set[pid] = true
+	}
+	for pid := range t.procs {
+		set[pid] = true
+	}
+	t.mu.Unlock()
+	out := make([]int, 0, len(set))
+	for pid := range set {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // Dropped returns how many events were discarded over the limit.
 func (t *Trace) Dropped() int64 {
 	t.mu.Lock()

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"testing"
+)
+
+func TestTraceContextValidAndChild(t *testing.T) {
+	var zero TraceContext
+	if zero.Valid() {
+		t.Fatal("zero TraceContext reported valid")
+	}
+	root := NewTraceContext()
+	if !root.Valid() {
+		t.Fatalf("NewTraceContext invalid: %+v", root)
+	}
+	if len(root.TraceID) != 16 || len(root.SpanID) != 16 {
+		t.Fatalf("want 16-hex ids, got trace=%q span=%q", root.TraceID, root.SpanID)
+	}
+	child := root.Child()
+	if child.TraceID != root.TraceID {
+		t.Fatalf("Child changed trace id: %q -> %q", root.TraceID, child.TraceID)
+	}
+	if child.SpanID == root.SpanID {
+		t.Fatalf("Child kept span id %q", root.SpanID)
+	}
+	// Child of an invalid context mints a root rather than propagating
+	// emptiness.
+	orphan := zero.Child()
+	if !orphan.Valid() {
+		t.Fatalf("Child of zero context invalid: %+v", orphan)
+	}
+}
+
+func TestTraceContextRoundTripContext(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := TraceContextOf(ctx); ok {
+		t.Fatal("empty context reported a trace context")
+	}
+	tc := NewTraceContext()
+	ctx = WithTraceContext(ctx, tc)
+	got, ok := TraceContextOf(ctx)
+	if !ok || got != tc {
+		t.Fatalf("round trip: got %+v ok=%v want %+v", got, ok, tc)
+	}
+	// Invalid contexts are not stored.
+	ctx2 := WithTraceContext(context.Background(), TraceContext{TraceID: "only"})
+	if _, ok := TraceContextOf(ctx2); ok {
+		t.Fatal("invalid context was stored")
+	}
+}
+
+func TestEnsureTraceContext(t *testing.T) {
+	// Without a Trace in ctx, nothing is minted: the tracing-off path
+	// stays free.
+	ctx, tc, ok := EnsureTraceContext(context.Background())
+	if ok || tc.Valid() {
+		t.Fatalf("minted %+v without a trace", tc)
+	}
+	if _, ok := TraceContextOf(ctx); ok {
+		t.Fatal("context gained a trace context without a trace")
+	}
+
+	// With a Trace, a root is minted and attached.
+	traced := WithTrace(context.Background(), NewTrace())
+	ctx, tc, ok = EnsureTraceContext(traced)
+	if !ok || !tc.Valid() {
+		t.Fatalf("no root minted under a trace: %+v ok=%v", tc, ok)
+	}
+	if got, ok := TraceContextOf(ctx); !ok || got != tc {
+		t.Fatalf("minted context not attached: %+v ok=%v", got, ok)
+	}
+
+	// An existing context is kept verbatim.
+	ctx2, tc2, ok := EnsureTraceContext(ctx)
+	if !ok || tc2 != tc || ctx2 != ctx {
+		t.Fatalf("existing context not kept: %+v ok=%v", tc2, ok)
+	}
+}
+
+func TestTraceContextInjectExtract(t *testing.T) {
+	h := make(http.Header)
+	if _, ok := ExtractTraceContext(h); ok {
+		t.Fatal("extracted a context from empty headers")
+	}
+	tc := NewTraceContext()
+	tc.Inject(h)
+	got, ok := ExtractTraceContext(h)
+	if !ok || got != tc {
+		t.Fatalf("header round trip: got %+v ok=%v want %+v", got, ok, tc)
+	}
+	// Invalid contexts stamp nothing.
+	h2 := make(http.Header)
+	TraceContext{TraceID: "half"}.Inject(h2)
+	if len(h2) != 0 {
+		t.Fatalf("invalid context stamped headers: %v", h2)
+	}
+	// One header alone is not a context (a proxy that strips one).
+	h3 := make(http.Header)
+	h3.Set(TraceIDHeader, "abc")
+	if _, ok := ExtractTraceContext(h3); ok {
+		t.Fatal("extracted a context from a lone trace id")
+	}
+}
+
+func TestSpanIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	tc := NewTraceContext()
+	for i := 0; i < 1000; i++ {
+		tc = tc.Child()
+		if seen[tc.SpanID] {
+			t.Fatalf("span id %q repeated at %d", tc.SpanID, i)
+		}
+		seen[tc.SpanID] = true
+	}
+}

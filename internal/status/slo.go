@@ -1,0 +1,31 @@
+package status
+
+import "net/http"
+
+// SLO view: when the process runs an SLO engine (a serving origin, or
+// any campaign host that put endpoints under objectives), /sloz serves
+// the live report. Like the fleet view, the status layer stays generic
+// — the report is an opaque JSON-marshalable value supplied by the
+// host (obs.SLOReport in practice), so callers without an engine pay
+// nothing and the endpoint answers 404.
+
+// SetSLOSource installs the /sloz report provider. Until one is set
+// the endpoint answers 404 (no SLO engine in this process). Safe to
+// call concurrently with requests.
+func (s *Server) SetSLOSource(fn func() any) {
+	s.mu.Lock()
+	s.sloSource = fn
+	s.mu.Unlock()
+}
+
+// handleSloz serves the live SLO report.
+func (s *Server) handleSloz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	src := s.sloSource
+	s.mu.Unlock()
+	if src == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no slo engine"})
+		return
+	}
+	writeJSON(w, http.StatusOK, src())
+}

@@ -1,0 +1,69 @@
+package status
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestSlozWithoutSourceIs404(t *testing.T) {
+	s := newTestServer()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/sloz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/sloz without a source = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSlozServesLiveReport(t *testing.T) {
+	reg := obs.NewRegistry()
+	requests := reg.Counter("test_requests_total")
+	latency := reg.Histogram("test_latency_seconds", []float64{0.01, 0.1, 1})
+	slo := obs.NewSLO(time.Minute, obs.SLOObjective{
+		Name:         "chunk",
+		LatencyBound: time.Second,
+		Target:       0.99,
+		Source: obs.SLOSource{
+			Requests: requests.Value,
+			Errors:   func() int64 { return 0 },
+			Latency:  latency,
+		},
+	})
+	s := newTestServer()
+	s.SetSLOSource(func() any { return slo.Report(time.Now()) })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	requests.Inc()
+	latency.Observe(0.001)
+
+	resp, err := http.Get(ts.URL + "/sloz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/sloz = %d, want 200", resp.StatusCode)
+	}
+	var rep obs.SLOReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	obj := rep.Objective("chunk")
+	if obj.Requests != 1 {
+		t.Fatalf("window requests = %d, want the live count 1", obj.Requests)
+	}
+	if rep.Exhausted() {
+		t.Fatalf("healthy report exhausted: %+v", rep)
+	}
+}

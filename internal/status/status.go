@@ -56,6 +56,10 @@ type Server struct {
 	fleetSource func() any
 	fleetLog    []any
 	fleetSubs   map[int]chan any
+
+	// SLO view (see slo.go); nil unless the process runs an SLO engine
+	// and called SetSLOSource.
+	sloSource func() any
 }
 
 // subBuffer is the per-subscriber point buffer; a subscriber that
@@ -147,6 +151,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/statusz/stream", s.handleStream)
 	mux.HandleFunc("/fleetz", s.handleFleetz)
 	mux.HandleFunc("/fleetz/stream", s.handleFleetStream)
+	mux.HandleFunc("/sloz", s.handleSloz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
