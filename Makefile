@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench-quick bench-json bench-check lint-prints lint-metrics-docs trace-demo orchestra-demo fleet-demo load-demo
+.PHONY: build test race vet verify bench-quick bench-json bench-check lint-prints lint-metrics-docs trace-demo orchestra-demo fleet-demo load-demo verify-demo
 
 build:
 	$(GO) build ./...
@@ -65,7 +65,8 @@ bench-quick:
 # (distributed-campaign throughput vs worker count, lease re-issue
 # overhead, and digest bit-identity with the local baseline), and
 # BENCH_serve.json (recovery-plane throughput, tail latency, SLO
-# attainment, and the tracing+SLO observability overhead ratio).
+# attainment, and the paired overhead ratios of the tracing+SLO
+# observability path and of merkle chunk verification).
 bench-json:
 	$(GO) run ./cmd/kondo-bench -exp perf -quick -json .
 	$(GO) run ./cmd/kondo-bench -exp carve -json .
@@ -113,6 +114,16 @@ fleet-demo:
 # must still pass the regression gate.
 load-demo:
 	./scripts/load-demo.sh
+
+# verify-demo exercises verified recovery end to end: debloat a
+# dataset into a merkle-rooted manifest, soak the origin through the
+# verifying client (all proofs must check out), then flip ONE byte of
+# the origin file under the running server and assert the next
+# verified run rejects it terminally — non-zero exit, a distinct
+# "chunk verification FAILED" report, counted rejections in the result
+# JSON, and a live /statusz verify view showing the failure.
+verify-demo:
+	./scripts/verify-demo.sh
 
 TRACE_DEMO_OUT ?= trace-demo.json
 trace-demo:

@@ -18,8 +18,15 @@
 // and stitches it in under pid 2 — one Chrome/Perfetto file covering
 // both processes, checkable with kondo-viz -check-trace -min-pids 2.
 //
-// Exit status: 0 on success, 1 when the run errored or any soak poll
-// found an exhausted error budget, 2 on usage errors.
+// With -manifest pointing at a Merkle-rooted debloat manifest every
+// chunk miss is fetched with an inclusion proof and verified against
+// the pinned root before entering the cache; tampered origin bytes are
+// rejected terminally and fail the run. -no-verify is the explicit
+// escape hatch for origins that predate proof serving.
+//
+// Exit status: 0 on success, 1 when the run errored, any chunk failed
+// verification, or any soak poll found an exhausted error budget, 2 on
+// usage errors.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,8 +42,12 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dataserve"
+	"repro/internal/debloat"
 	"repro/internal/load"
 	"repro/internal/obs"
+	"repro/internal/sdf"
+	"repro/internal/status"
 )
 
 func main() {
@@ -53,6 +65,10 @@ func main() {
 		warmup      = flag.Int("warmup", 0, "requests issued before the measurement window (warm cache); 0 measures cold")
 		seed        = flag.Int64("seed", 0, "popularity rng seed (0 = from clock)")
 		soakEvery   = flag.Duration("soak-interval", 0, "poll the origin's /sloz at this interval and fail if any error budget is exhausted")
+		manifest    = flag.String("manifest", "", "debloat manifest JSON; when it carries a merkle section, every miss is proof-verified against its root")
+		noVerify    = flag.Bool("no-verify", false, "escape hatch: skip chunk verification even when -manifest carries a merkle root")
+		statusAddr  = flag.String("status-addr", "", "optional: serve /statusz (with live verify counters) and /metrics on this address during the run")
+		statusFile  = flag.String("status-addr-file", "", "optional: write the resolved -status-addr listen address to this file (for scripts using port 0)")
 		jsonOut     = flag.String("json", "", "optional: write the result JSON to this file")
 		traceOut    = flag.String("trace-out", "", "optional: write a stitched client+server Chrome trace to this file")
 		dumpMetrics = flag.Bool("dump-metrics", false, "print the kondo_load_* Prometheus exposition after the run")
@@ -95,8 +111,73 @@ func main() {
 		Registry:     reg,
 	}
 
+	// -manifest arms the verifying client: the manifest's merkle section
+	// pins the root every miss is checked against. A manifest without
+	// one (written before verified recovery) degrades to unverified
+	// serving with a warning; -no-verify makes that choice explicit.
+	var spec *sdf.MerkleSpec
+	if *manifest != "" {
+		m, err := debloat.LoadManifest(*manifest)
+		if err != nil {
+			log.Error("loading manifest", "path", *manifest, "err", err)
+			os.Exit(2)
+		}
+		spec, err = m.MerkleSpec()
+		if err != nil {
+			log.Error("manifest merkle section rejected", "path", *manifest, "err", err)
+			os.Exit(2)
+		}
+		switch {
+		case spec == nil:
+			log.Warn("manifest has no merkle section; recovery is UNVERIFIED", "path", *manifest)
+		case *noVerify:
+			log.Warn("chunk verification disabled by -no-verify; recovery is UNVERIFIED")
+		default:
+			cfg.Verify = spec
+			log.Info("chunk verification armed", "root", spec.RootHex()[:12], "leaves", spec.Leaves)
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// -status-addr exposes the run's own observability while it drives
+	// load: /statusz (with the live verify view), /metrics, /healthz.
+	if *statusAddr != "" {
+		ln, err := net.Listen("tcp", *statusAddr)
+		if err != nil {
+			log.Error("listening on -status-addr", "addr", *statusAddr, "err", err)
+			os.Exit(2)
+		}
+		if *statusFile != "" {
+			if werr := os.WriteFile(*statusFile, []byte(ln.Addr().String()+"\n"), 0o644); werr != nil {
+				log.Error("writing status addr file", "path", *statusFile, "err", werr)
+				os.Exit(2)
+			}
+		}
+		sv := status.NewServer(status.Campaign{Program: "kondo-load", Dataset: *dataset}, nil, 0, reg)
+		if spec != nil {
+			verifying := cfg.Verify != nil
+			root := spec.RootHex()
+			cfg.OnFetcher = func(f *dataserve.Fetcher) {
+				sv.SetVerifySource(func() any {
+					st := f.Stats()
+					return map[string]any{
+						"enabled":       verifying,
+						"algo":          spec.Algo,
+						"root":          root,
+						"leaves":        spec.Leaves,
+						"verify_ok":     st.VerifyOK,
+						"verify_failed": st.VerifyFailed,
+					}
+				})
+			}
+		}
+		hs := &http.Server{Handler: sv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
+		log.Info("status server listening", "addr", ln.Addr().String())
+	}
 
 	// With -trace-out every request records into tr (and stamps its
 	// trace context onto the wire for the server's child spans).
@@ -133,6 +214,11 @@ func main() {
 	}
 	if *dumpMetrics {
 		_ = reg.WritePrometheus(os.Stdout)
+	}
+	if res.Fetch.VerifyFailed > 0 {
+		log.Error("chunk verification FAILED: origin bytes do not match the manifest's merkle root",
+			"failed", res.Fetch.VerifyFailed, "verified", res.Fetch.VerifyOK)
+		os.Exit(1)
 	}
 	if res.SoakViolations > 0 {
 		log.Error("error budget exhausted during soak",

@@ -241,10 +241,16 @@ func programMode(ctx context.Context, name, data, dataset, out string, budget in
 		}
 		if manifestPath != "" {
 			m := kondo.NewManifest(p.Name(), dataset, p.Space().Dims(), gran, chunk, res, stats)
+			// Root the manifest over the ORIGINAL data file — the bytes
+			// an origin will serve during recovery — so clients can
+			// verify every recovered chunk (DESIGN.md §15).
+			if err := m.EmbedMerkle(data); err != nil {
+				return fmt.Errorf("embedding merkle root: %w", err)
+			}
 			if err := m.Save(manifestPath); err != nil {
 				return err
 			}
-			fmt.Printf("manifest:    %s (%d hulls)\n", manifestPath, len(m.Hulls))
+			fmt.Printf("manifest:    %s (%d hulls, merkle root %s)\n", manifestPath, len(m.Hulls), m.Merkle.Root[:12])
 		}
 	}
 	if tel.provOut != "" {

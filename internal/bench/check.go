@@ -125,6 +125,13 @@ var checkedExperiments = map[string]map[string]metricClass{
 		// never on sub-floor noise.
 		"serve_overhead":       classExempt,
 		"serve_overhead_gated": classLowerBetter,
+		// Merkle verification: proof counts vary with singleflight timing
+		// (report only), failures must stay exactly zero, and the paired
+		// verify-on overhead shares the floored ≤5% gate.
+		"verify_proofs":         classExempt,
+		"verify_failed":         classExact,
+		"verify_overhead":       classExempt,
+		"verify_overhead_gated": classLowerBetter,
 	},
 }
 

@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -67,6 +68,28 @@ func Serve(ctx context.Context, opts Options) (*Report, error) {
 		return nil, err
 	}
 
+	// The Merkle spec the verifying client pins: built once from the
+	// origin exactly the way `kondo debloat` embeds it in the manifest.
+	spec, err := func() (sdf.MerkleSpec, error) {
+		f, err := sdf.Open(originPath)
+		if err != nil {
+			return sdf.MerkleSpec{}, err
+		}
+		defer f.Close()
+		ds, err := f.Dataset("data")
+		if err != nil {
+			return sdf.MerkleSpec{}, err
+		}
+		tree, err := sdf.BuildDatasetMerkle(ds, sdf.ServingChunk(ds))
+		if err != nil {
+			return sdf.MerkleSpec{}, err
+		}
+		return tree.SpecOf(ds), nil
+	}()
+	if err != nil {
+		return nil, fmt.Errorf("serve: building origin merkle spec: %w", err)
+	}
+
 	reqs := 6000
 	conc := 8
 	if opts.Quick {
@@ -79,7 +102,11 @@ func Serve(ctx context.Context, opts Options) (*Report, error) {
 	// trace-context propagation, server child spans, and a ticking SLO
 	// engine over the chunk endpoint; the stitched 2-pid trace and the
 	// SLO report come back with the result.
-	runOnce := func(telemetry bool) (*load.Result, *obs.Trace, obs.SLOReport, error) {
+	// A second paired gate measures Merkle verification the same way:
+	// verify-off vs verify-on (telemetry off in both), so the ≤5% bound
+	// covers exactly the proof-frame fetch + inclusion-proof check on
+	// the miss path of the same hit-heavy Zipf workload.
+	runOnce := func(telemetry, verify bool) (*load.Result, *obs.Trace, obs.SLOReport, error) {
 		srv, err := dataserve.NewServer(originPath)
 		if err != nil {
 			return nil, nil, obs.SLOReport{}, err
@@ -114,14 +141,32 @@ func Serve(ctx context.Context, opts Options) (*Report, error) {
 			defer stopTick()
 			go slo.Run(tickCtx, 10*time.Millisecond)
 		}
-		res, err := load.Run(runCtx, load.Config{
-			BaseURL:     "http://" + ln.Addr().String(),
+		// Prime first-touch costs outside the measured window on both
+		// sides: one plain chunk read warms the origin's file pages, and
+		// one proof read triggers the server's one-time lazy Merkle tree
+		// build — startup cost (counted by kondo_serve_proof_trees_total),
+		// not the per-request serving overhead this gate bounds.
+		base := "http://" + ln.Addr().String()
+		warm := base + "/chunk?dataset=data&chunk=0,0"
+		if verify {
+			warm += "&proof=1"
+		}
+		if resp, err := http.Get(warm); err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cfg := load.Config{
+			BaseURL:     base,
 			Mode:        load.Closed,
 			Popularity:  load.Zipf,
 			Requests:    reqs,
 			Concurrency: conc,
 			Seed:        opts.Seed,
-		})
+		}
+		if verify {
+			cfg.Verify = &spec
+		}
+		res, err := load.Run(runCtx, cfg)
 		if err != nil {
 			return nil, nil, obs.SLOReport{}, err
 		}
@@ -150,10 +195,14 @@ func Serve(ctx context.Context, opts Options) (*Report, error) {
 	// is the median per-pair ratio, so process-wide drift cancels
 	// within a pair and one stalled run cannot swing it.
 	const reps = 5
-	var bestOff, lastOn *load.Result
+	var bestOff, lastOn, lastVerified *load.Result
 	var lastTrace *obs.Trace
 	var lastSLO obs.SLOReport
-	measure := func() (float64, error) {
+	measure := func(verify bool) (float64, error) {
+		what := "telemetry"
+		if verify {
+			what = "verify"
+		}
 		var ratios []float64
 		for i := 0; i < reps; i++ {
 			var offSec, onSec float64
@@ -161,19 +210,27 @@ func Serve(ctx context.Context, opts Options) (*Report, error) {
 			if i%2 == 1 {
 				order = []bool{true, false}
 			}
-			for _, telemetry := range order {
+			for _, on := range order {
 				runtime.GC()
-				res, tr, sloRep, err := runOnce(telemetry)
+				res, tr, sloRep, err := runOnce(on && !verify, on && verify)
 				if err != nil {
-					return 0, fmt.Errorf("serve run (telemetry=%v): %w", telemetry, err)
+					return 0, fmt.Errorf("serve run (%s=%v): %w", what, on, err)
 				}
 				if res.Requests != int64(reqs) || res.Errors != 0 {
-					return 0, fmt.Errorf("serve run (telemetry=%v): %d requests (%d errors), want exactly %d clean",
-						telemetry, res.Requests, res.Errors, reqs)
+					return 0, fmt.Errorf("serve run (%s=%v): %d requests (%d errors), want exactly %d clean",
+						what, on, res.Requests, res.Errors, reqs)
 				}
-				if telemetry {
+				if on {
 					onSec = res.Seconds
-					lastOn, lastTrace, lastSLO = res, tr, sloRep
+					if verify {
+						if res.Fetch.VerifyFailed != 0 || res.Fetch.VerifyOK == 0 {
+							return 0, fmt.Errorf("serve run (verify=on): %d proofs verified, %d failed; want >0 verified, 0 failed",
+								res.Fetch.VerifyOK, res.Fetch.VerifyFailed)
+						}
+						lastVerified = res
+					} else {
+						lastOn, lastTrace, lastSLO = res, tr, sloRep
+					}
 				} else {
 					offSec = res.Seconds
 					if bestOff == nil || res.Seconds < bestOff.Seconds {
@@ -186,39 +243,55 @@ func Serve(ctx context.Context, opts Options) (*Report, error) {
 		sort.Float64s(ratios)
 		return ratios[len(ratios)/2] - 1, nil
 	}
-	overhead, err := measure()
+	// A loaded machine can poison a whole round of pairs; a real
+	// regression also fails the (at most two) confirmation rounds.
+	gated := func(verify bool) (float64, error) {
+		overhead, err := measure(verify)
+		if err != nil {
+			return 0, err
+		}
+		for tries := 0; overhead > serveOverheadFloor && tries < 2; tries++ {
+			confirm, cerr := measure(verify)
+			if cerr != nil {
+				return 0, cerr
+			}
+			if confirm < overhead {
+				overhead = confirm
+			}
+		}
+		return overhead, nil
+	}
+	overhead, err := gated(false)
 	if err != nil {
 		return nil, err
 	}
-	// A loaded machine can poison a whole round of pairs; a real
-	// regression also fails the (at most two) confirmation rounds.
-	for tries := 0; overhead > serveOverheadFloor && tries < 2; tries++ {
-		confirm, cerr := measure()
-		if cerr != nil {
-			return nil, cerr
-		}
-		if confirm < overhead {
-			overhead = confirm
-		}
+	verifyOverhead, err := gated(true)
+	if err != nil {
+		return nil, err
 	}
 	addRow("plain", bestOff)
 	addRow("traced+slo", lastOn)
+	addRow("verified", lastVerified)
 
 	pids := len(lastTrace.PIDs())
 	sloObj := lastSLO.Objective("chunk")
 	rep.Metrics = map[string]float64{
-		"requests":             float64(bestOff.Requests),
-		"errors":               float64(bestOff.Errors + lastOn.Errors),
-		"trace_pids":           float64(pids),
-		"throughput_rps":       bestOff.Throughput,
-		"p50_ms":               bestOff.P50 * 1e3,
-		"p95_ms":               bestOff.P95 * 1e3,
-		"p99_ms":               bestOff.P99 * 1e3,
-		"cache_hit_rate":       bestOff.HitRate,
-		"slo_attainment":       sloObj.Attainment,
-		"slo_budget_used":      sloObj.ErrorBudgetUsed,
-		"serve_overhead":       overhead,
-		"serve_overhead_gated": math.Max(overhead, serveOverheadFloor),
+		"requests":              float64(bestOff.Requests),
+		"errors":                float64(bestOff.Errors + lastOn.Errors),
+		"trace_pids":            float64(pids),
+		"throughput_rps":        bestOff.Throughput,
+		"p50_ms":                bestOff.P50 * 1e3,
+		"p95_ms":                bestOff.P95 * 1e3,
+		"p99_ms":                bestOff.P99 * 1e3,
+		"cache_hit_rate":        bestOff.HitRate,
+		"slo_attainment":        sloObj.Attainment,
+		"slo_budget_used":       sloObj.ErrorBudgetUsed,
+		"serve_overhead":        overhead,
+		"serve_overhead_gated":  math.Max(overhead, serveOverheadFloor),
+		"verify_proofs":         float64(lastVerified.Fetch.VerifyOK),
+		"verify_failed":         float64(lastVerified.Fetch.VerifyFailed),
+		"verify_overhead":       verifyOverhead,
+		"verify_overhead_gated": math.Max(verifyOverhead, serveOverheadFloor),
 	}
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("closed loop, %d requests x %d workers, zipf chunk popularity over a %dx%d origin (%dx%d chunks)",
@@ -228,6 +301,8 @@ func Serve(ctx context.Context, opts Options) (*Report, error) {
 			sloObj.Attainment, sloObj.ErrorBudgetUsed),
 		fmt.Sprintf("request tracing + SLO accounting cost %.1f%% wall clock; the gate fires above %.0f%%",
 			overhead*100, serveOverheadFloor*100),
+		fmt.Sprintf("merkle verification (%d proofs checked, 0 failed) cost %.1f%% wall clock on the hit-heavy mix; same %.0f%% gate",
+			lastVerified.Fetch.VerifyOK, verifyOverhead*100, serveOverheadFloor*100),
 	)
 	return rep, nil
 }

@@ -7,11 +7,12 @@ import (
 
 // TestServeMetricsContract pins the serving experiment's
 // machine-readable surface: the closed-loop counts are exact, the
-// stitched client+server trace spans both pids, and the gated overhead
-// copy is floored at the serving observability budget.
+// stitched client+server trace spans both pids, and both gated
+// overhead copies (telemetry and merkle verification) are floored at
+// the serving observability budget.
 func TestServeMetricsContract(t *testing.T) {
 	if testing.Short() {
-		t.Skip("drives ten loopback load runs; skipped in -short")
+		t.Skip("drives twenty loopback load runs; skipped in -short")
 	}
 	opts := QuickOptions()
 	opts.Seed = 12345
@@ -24,6 +25,8 @@ func TestServeMetricsContract(t *testing.T) {
 		"throughput_rps", "p50_ms", "p95_ms", "p99_ms",
 		"cache_hit_rate", "slo_attainment", "slo_budget_used",
 		"serve_overhead", "serve_overhead_gated",
+		"verify_proofs", "verify_failed",
+		"verify_overhead", "verify_overhead_gated",
 	} {
 		if _, ok := rep.Metrics[key]; !ok {
 			t.Errorf("metric %q missing", key)
@@ -41,13 +44,22 @@ func TestServeMetricsContract(t *testing.T) {
 	if rep.Metrics["serve_overhead_gated"] < serveOverheadFloor {
 		t.Errorf("gated overhead %v below the %v floor", rep.Metrics["serve_overhead_gated"], serveOverheadFloor)
 	}
+	if rep.Metrics["verify_overhead_gated"] < serveOverheadFloor {
+		t.Errorf("gated verify overhead %v below the %v floor", rep.Metrics["verify_overhead_gated"], serveOverheadFloor)
+	}
+	if rep.Metrics["verify_failed"] != 0 {
+		t.Errorf("verify_failed = %v, want exactly 0", rep.Metrics["verify_failed"])
+	}
+	if rep.Metrics["verify_proofs"] <= 0 {
+		t.Errorf("verify_proofs = %v, want > 0", rep.Metrics["verify_proofs"])
+	}
 	if rep.Metrics["slo_attainment"] <= 0 || rep.Metrics["slo_attainment"] > 1 {
 		t.Errorf("slo_attainment = %v outside (0,1]", rep.Metrics["slo_attainment"])
 	}
 	if rep.Metrics["throughput_rps"] <= 0 {
 		t.Errorf("throughput = %v", rep.Metrics["throughput_rps"])
 	}
-	if len(rep.Rows) != 2 {
-		t.Errorf("rows = %d, want plain + traced+slo", len(rep.Rows))
+	if len(rep.Rows) != 3 {
+		t.Errorf("rows = %d, want plain + traced+slo + verified", len(rep.Rows))
 	}
 }

@@ -56,6 +56,15 @@ func (c *chunkCache) put(key string, vals []float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if size > c.maxBytes {
+		// Uncacheable — but if the key is already resident, the old
+		// value is now stale and must not answer future gets: dropping
+		// the put while keeping the entry would serve superseded bytes.
+		if el, ok := c.byKey[key]; ok {
+			old := el.Value.(*cacheEntry)
+			c.order.Remove(el)
+			delete(c.byKey, key)
+			c.curBytes -= entryBytes(old.vals)
+		}
 		return
 	}
 	owned := append([]float64(nil), vals...)

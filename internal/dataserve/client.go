@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -18,6 +19,16 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sdf"
 )
+
+// ErrVerifyFailed marks a response that was well-formed on the wire
+// but failed integrity verification: a proof that does not connect to
+// the manifest root, tampered chunk bytes, a swapped identity, an
+// origin that cannot produce proofs at all, or a lying /meta. It is
+// TERMINAL — never retried and never degraded to sdf.ErrDataMissing —
+// because the origin is lying, not flaky: retrying a forged chunk
+// yields the same forged chunk, and masking it as missing data would
+// let a poisoned origin silently zero out a workload.
+var ErrVerifyFailed = errors.New("dataserve: chunk verification failed")
 
 // FetcherConfig tunes the client's cache, timeout, and retry
 // behaviour. The zero value of any field selects its default.
@@ -73,6 +84,10 @@ type FetchStats struct {
 	// CacheEntries and CacheBytes describe the cache's current state.
 	CacheEntries int
 	CacheBytes   int64
+	// VerifyOK counts chunks that passed Merkle verification before
+	// entering the cache; VerifyFailed counts terminal verification
+	// rejections. Both stay zero unless SetVerify armed the dataset.
+	VerifyOK, VerifyFailed int64
 }
 
 // HitRate returns the chunk-cache hit fraction.
@@ -110,10 +125,11 @@ type Fetcher struct {
 
 	mu     sync.Mutex
 	geoms  map[string]*dsGeom
-	metaMu sync.Mutex // serializes geometry misses (one /meta per burst)
+	verify map[string]*sdf.MerkleSpec // armed datasets: trusted tree specs
 
-	cache  *chunkCache
-	flight *flightGroup
+	cache      *chunkCache
+	flight     *flightGroup[[]float64]
+	geomFlight *flightGroup[*dsGeom] // collapses concurrent /meta misses per dataset
 
 	// rng drives the retry backoff's full jitter; it is deliberately
 	// per-fetcher (not the global source) so seeding elsewhere in the
@@ -124,6 +140,7 @@ type Fetcher struct {
 	elements, roundTrips, retries   atomic.Int64
 	cacheHits, cacheMisses, flShare atomic.Int64
 	tracePropagated                 atomic.Int64
+	verifyOK, verifyFailed          atomic.Int64
 }
 
 // NewFetcher returns a fetcher against the origin's base URL (e.g.
@@ -141,14 +158,38 @@ func NewFetcherConfig(baseURL string, httpClient *http.Client, cfg FetcherConfig
 	}
 	cfg = cfg.withDefaults()
 	return &Fetcher{
-		baseURL: strings.TrimSuffix(baseURL, "/"),
-		http:    httpClient,
-		cfg:     cfg,
-		geoms:   make(map[string]*dsGeom),
-		cache:   newChunkCache(cfg.MaxCacheBytes),
-		flight:  newFlightGroup(),
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		baseURL:    strings.TrimSuffix(baseURL, "/"),
+		http:       httpClient,
+		cfg:        cfg,
+		geoms:      make(map[string]*dsGeom),
+		verify:     make(map[string]*sdf.MerkleSpec),
+		cache:      newChunkCache(cfg.MaxCacheBytes),
+		flight:     newFlightGroup[[]float64](),
+		geomFlight: newFlightGroup[*dsGeom](),
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+}
+
+// SetVerify arms Merkle verification for one dataset: every chunk miss
+// is fetched with an inclusion proof and verified against spec's root
+// before it enters the cache. The spec comes from a trusted debloat
+// manifest (debloat.Manifest.MerkleSpec), never from the origin.
+// Verification failure surfaces as the terminal ErrVerifyFailed.
+func (f *Fetcher) SetVerify(dataset string, spec sdf.MerkleSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.verify[dataset] = &spec
+	return nil
+}
+
+// verifySpec returns the armed spec for dataset, nil when unverified.
+func (f *Fetcher) verifySpec(dataset string) *sdf.MerkleSpec {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.verify[dataset]
 }
 
 // Stats returns a snapshot of the fetcher's counters.
@@ -162,6 +203,8 @@ func (f *Fetcher) Stats() FetchStats {
 		FlightShared: f.flShare.Load(),
 		CacheEntries: f.cache.len(),
 		CacheBytes:   f.cache.bytes(),
+		VerifyOK:     f.verifyOK.Load(),
+		VerifyFailed: f.verifyFailed.Load(),
 	}
 }
 
@@ -180,6 +223,10 @@ func (f *Fetcher) Register(reg *obs.Registry) {
 	reg.SetHelp("kondo_fetch_cache_entries", "Chunks currently resident in the client cache.")
 	reg.GaugeFunc("kondo_fetch_cache_entries", func() float64 { return float64(f.cache.len()) })
 	reg.GaugeFunc("kondo_fetch_cache_bytes", func() float64 { return float64(f.cache.bytes()) })
+	reg.SetHelp("kondo_verify_ok_total", "Chunks that passed Merkle verification before entering the cache.")
+	reg.CounterFunc("kondo_verify_ok_total", f.verifyOK.Load)
+	reg.SetHelp("kondo_verify_failed_total", "Chunks rejected by Merkle verification (terminal, never retried).")
+	reg.CounterFunc("kondo_verify_failed_total", f.verifyFailed.Load)
 }
 
 // Fetch implements debloat.Fetcher.
@@ -261,7 +308,7 @@ func (f *Fetcher) FetchSlab(ctx context.Context, dataset string, start, count []
 	for _, c := range count {
 		want *= int64(c)
 	}
-	vals, err := f.frameRequest(ctx, http.MethodPost, f.baseURL+"/slab", body, want)
+	vals, err := f.frameRequest(ctx, http.MethodPost, f.baseURL+"/slab", body, want, nil)
 	if err != nil {
 		return nil, fmt.Errorf("dataserve: slab %v+%v of %q: %w", start, count, dataset, err)
 	}
@@ -269,7 +316,11 @@ func (f *Fetcher) FetchSlab(ctx context.Context, dataset string, start, count []
 	return vals, nil
 }
 
-// geom resolves (and caches) a dataset's serving geometry.
+// geom resolves (and caches) a dataset's serving geometry. Concurrent
+// first-touch misses for one dataset collapse onto a single /meta
+// round trip through the same singleflight machinery chunk fetches
+// use; misses for different datasets proceed independently (the old
+// metaMu serialized them head-of-line).
 func (f *Fetcher) geom(ctx context.Context, dataset string) (*dsGeom, error) {
 	f.mu.Lock()
 	g, ok := f.geoms[dataset]
@@ -277,16 +328,33 @@ func (f *Fetcher) geom(ctx context.Context, dataset string) (*dsGeom, error) {
 	if ok {
 		return g, nil
 	}
-	// Serialize meta misses so a burst of first fetches shares one
-	// round trip; cached lookups above never touch this lock.
-	f.metaMu.Lock()
-	defer f.metaMu.Unlock()
-	f.mu.Lock()
-	g, ok = f.geoms[dataset]
-	f.mu.Unlock()
-	if ok {
+	g, err, _ := f.geomFlight.do(dataset, func() (*dsGeom, error) {
+		// Re-check under the flight: a previous holder may have
+		// resolved the geometry while this caller queued.
+		f.mu.Lock()
+		g, ok := f.geoms[dataset]
+		f.mu.Unlock()
+		if ok {
+			return g, nil
+		}
+		g, err := f.fetchGeom(ctx, dataset)
+		if err != nil {
+			return nil, err
+		}
+		f.mu.Lock()
+		f.geoms[dataset] = g
+		f.mu.Unlock()
 		return g, nil
-	}
+	})
+	return g, err
+}
+
+// fetchGeom performs the /meta round trip and, when verification is
+// armed, cross-checks the origin's advertised geometry against the
+// manifest's pinned dims/chunk before any coordinate arithmetic
+// trusts it — a lying /meta would shift every chunk coordinate, so
+// the mismatch is a terminal verification failure, not a retry.
+func (f *Fetcher) fetchGeom(ctx context.Context, dataset string) (*dsGeom, error) {
 	data, err := f.jsonRequest(ctx, f.baseURL+"/meta?dataset="+dataset)
 	if err != nil {
 		return nil, fmt.Errorf("dataserve: meta of %q: %w", dataset, err)
@@ -294,6 +362,12 @@ func (f *Fetcher) geom(ctx context.Context, dataset string) (*dsGeom, error) {
 	var meta DatasetMeta
 	if err := json.Unmarshal(data, &meta); err != nil {
 		return nil, fmt.Errorf("dataserve: decoding meta of %q: %w", dataset, err)
+	}
+	if spec := f.verifySpec(dataset); spec != nil {
+		if err := spec.MatchesGeometry(meta.Dims, meta.Chunk); err != nil {
+			f.verifyFailed.Add(1)
+			return nil, fmt.Errorf("%w: meta of %q: %v", ErrVerifyFailed, dataset, err)
+		}
 	}
 	space, err := array.NewSpace(meta.Dims...)
 	if err != nil {
@@ -307,15 +381,7 @@ func (f *Fetcher) geom(ctx context.Context, dataset string) (*dsGeom, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataserve: meta of %q: %w", dataset, err)
 	}
-	g = &dsGeom{space: space, grid: grid, chunk: meta.Chunk}
-	f.mu.Lock()
-	if prev, ok := f.geoms[dataset]; ok {
-		g = prev // concurrent resolver won; geometry is identical
-	} else {
-		f.geoms[dataset] = g
-	}
-	f.mu.Unlock()
-	return g, nil
+	return &dsGeom{space: space, grid: grid, chunk: meta.Chunk}, nil
 }
 
 func cacheVerdict(hit bool) string {
@@ -363,15 +429,22 @@ func (f *Fetcher) chunk(ctx context.Context, dataset string, g *dsGeom, cc array
 		for _, c := range count {
 			want *= int64(c)
 		}
-		parts := make([]string, len(cc))
-		for i, v := range cc {
-			parts[i] = strconv.Itoa(v)
+		url := f.baseURL + "/chunk?dataset=" + dataset + "&chunk=" + joinInts(cc)
+		var vals []float64
+		var err error
+		if spec := f.verifySpec(dataset); spec != nil {
+			vals, err = f.verifiedChunk(ctx, spec, dataset, cc, lin, url+"&proof=1", want)
+		} else {
+			vals, err = f.frameRequest(ctx, http.MethodGet, url, nil, want, f.identityCheck(dataset, cc))
+			if err != nil {
+				err = fmt.Errorf("dataserve: chunk %v of %q: %w", cc, dataset, err)
+			}
 		}
-		url := f.baseURL + "/chunk?dataset=" + dataset + "&chunk=" + strings.Join(parts, ",")
-		vals, err := f.frameRequest(ctx, http.MethodGet, url, nil, want)
 		if err != nil {
-			return nil, fmt.Errorf("dataserve: chunk %v of %q: %w", cc, dataset, err)
+			return nil, err
 		}
+		// Only verified (or at least identity-consistent) bytes enter
+		// the cache: a hit must never have to re-verify.
 		f.cache.put(key, vals)
 		return vals, nil
 	})
@@ -379,6 +452,94 @@ func (f *Fetcher) chunk(ctx context.Context, dataset string, g *dsGeom, cc array
 		f.flShare.Add(1)
 	}
 	return vals, false, err
+}
+
+// verifiedChunk fetches one chunk with its inclusion proof and folds
+// the proof against the manifest root before returning the values. The
+// verify.chunk span lives here — on the miss path only, so the hit
+// path's cost stays zero.
+func (f *Fetcher) verifiedChunk(ctx context.Context, spec *sdf.MerkleSpec, dataset string, cc array.Index, leaf int64, url string, want int64) ([]float64, error) {
+	pf, err := f.proofRequest(ctx, url)
+	if err != nil {
+		if errors.Is(err, ErrVerifyFailed) {
+			f.verifyFailed.Add(1)
+		}
+		return nil, fmt.Errorf("dataserve: chunk %v of %q: %w", cc, dataset, err)
+	}
+	sp := obs.Start(ctx, "verify.chunk")
+	err = verifyProofFrame(spec, dataset, cc, leaf, want, pf)
+	if sp != nil {
+		sp.Arg("dataset", dataset).Arg("leaf", leaf).Arg("ok", err == nil)
+	}
+	sp.End()
+	if err != nil {
+		f.verifyFailed.Add(1)
+		return nil, fmt.Errorf("%w: chunk %v of %q: %v", ErrVerifyFailed, cc, dataset, err)
+	}
+	f.verifyOK.Add(1)
+	return pf.Vals, nil
+}
+
+// verifyProofFrame checks one proof frame against the request identity
+// and the trusted spec: the echoed identity must match what was asked,
+// the tree coordinates must match the spec, and the leaf hash of the
+// received values must fold through the proof onto the manifest root.
+// Every expected quantity (leaf index, leaf count, value count) comes
+// from the verifier's own geometry, never from the wire.
+func verifyProofFrame(spec *sdf.MerkleSpec, dataset string, cc array.Index, leaf, want int64, pf proofFrame) error {
+	if pf.Dataset != dataset {
+		return fmt.Errorf("response identifies dataset %q", pf.Dataset)
+	}
+	if !sameInts(pf.Chunk, cc) {
+		return fmt.Errorf("response identifies chunk %v", pf.Chunk)
+	}
+	if pf.Leaf != leaf {
+		return fmt.Errorf("response claims leaf %d, geometry says %d", pf.Leaf, leaf)
+	}
+	if pf.Leaves != spec.Leaves {
+		return fmt.Errorf("response claims %d leaves, manifest pinned %d", pf.Leaves, spec.Leaves)
+	}
+	if int64(len(pf.Vals)) != want {
+		return fmt.Errorf("response carries %d values, geometry says %d", len(pf.Vals), want)
+	}
+	if !sdf.VerifyChunkProof(spec.Root, spec.Leaves, leaf, sdf.ChunkLeafHash(leaf, pf.Vals), pf.Proof) {
+		return fmt.Errorf("inclusion proof does not connect to the manifest root")
+	}
+	return nil
+}
+
+// identityCheck returns a response check rejecting a chunk response
+// whose echoed identity headers disagree with the request — the KDB1
+// substitution fix: even without proofs, a frame for chunk A can no
+// longer answer a request for chunk B when the origin echoes identity.
+// Old origins send no headers and skip the check. The mismatch is
+// terminal: a misrouted response means a lying or broken middlebox,
+// and retrying through it would re-accept the next swap.
+func (f *Fetcher) identityCheck(dataset string, cc array.Index) func(*http.Response) error {
+	return func(resp *http.Response) error {
+		if got := resp.Header.Get(headerDataset); got != "" && got != dataset {
+			f.verifyFailed.Add(1)
+			return fmt.Errorf("%w: origin echoed dataset %q for a request against %q", ErrVerifyFailed, got, dataset)
+		}
+		if got := resp.Header.Get(headerChunk); got != "" && got != joinInts(cc) {
+			f.verifyFailed.Add(1)
+			return fmt.Errorf("%w: origin echoed chunk %s for a request of %s", ErrVerifyFailed, got, joinInts(cc))
+		}
+		return nil
+	}
+}
+
+// sameInts compares a coordinate against an index.
+func sameInts(a []int, b array.Index) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // jsonRequest performs a retried GET expecting a JSON body.
@@ -406,8 +567,10 @@ func (f *Fetcher) jsonRequest(ctx context.Context, url string) ([]byte, error) {
 }
 
 // frameRequest performs a retried request expecting a binary value
-// frame of wantVals values.
-func (f *Fetcher) frameRequest(ctx context.Context, method, url string, body []byte, wantVals int64) ([]float64, error) {
+// frame of wantVals values. A non-nil check runs against the response
+// before the body is decoded; a check error wrapping ErrVerifyFailed
+// is terminal (not retried).
+func (f *Fetcher) frameRequest(ctx context.Context, method, url string, body []byte, wantVals int64, check func(*http.Response) error) ([]float64, error) {
 	var vals []float64
 	err := f.withRetries(ctx, func(actx context.Context) (retryable bool, err error) {
 		var rd io.Reader
@@ -431,12 +594,52 @@ func (f *Fetcher) frameRequest(ctx context.Context, method, url string, body []b
 		if resp.StatusCode != http.StatusOK {
 			return retryStatus(resp.StatusCode), statusError(resp)
 		}
+		if check != nil {
+			if err := check(resp); err != nil {
+				return !errors.Is(err, ErrVerifyFailed), err
+			}
+		}
 		// A truncated or corrupted body is worth retrying: the origin
 		// itself is healthy, the transfer was not.
 		vals, err = decodeFrame(resp.Body, wantVals)
 		return true, err
 	})
 	return vals, err
+}
+
+// proofRequest performs a retried GET expecting a KDB2 proof frame.
+// Transport trouble and corruption retry as usual; an origin that
+// answers with a plain KDB1 value frame is terminal — an old peer
+// cannot serve verified chunks, and retrying will not make it grow
+// proofs.
+func (f *Fetcher) proofRequest(ctx context.Context, url string) (proofFrame, error) {
+	var pf proofFrame
+	err := f.withRetries(ctx, func(actx context.Context) (retryable bool, err error) {
+		req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
+		if err != nil {
+			return false, err
+		}
+		f.stampTraceContext(actx, req)
+		resp, err := f.http.Do(req)
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		f.roundTrips.Add(1)
+		if resp.StatusCode != http.StatusOK {
+			return retryStatus(resp.StatusCode), statusError(resp)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return true, err
+		}
+		if len(raw) >= len(frameCodec.Magic) && string(raw[:len(frameCodec.Magic)]) == frameCodec.Magic {
+			return false, fmt.Errorf("%w: origin answered without a proof (%s peer)", ErrVerifyFailed, frameCodec.Magic)
+		}
+		pf, err = decodeProofFrame(bytes.NewReader(raw))
+		return true, err
+	})
+	return pf, err
 }
 
 // stampTraceContext propagates the fetch's trace context onto an

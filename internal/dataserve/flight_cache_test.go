@@ -14,7 +14,7 @@ import (
 // with an unclosed done channel and every later fetch of the key
 // deadlocked.
 func TestFlightGroupPanicReleasesKey(t *testing.T) {
-	g := newFlightGroup()
+	g := newFlightGroup[[]float64]()
 
 	leaderIn := make(chan struct{})
 	waiterJoined := make(chan struct{})
@@ -89,7 +89,7 @@ func TestFlightGroupPanicReleasesKey(t *testing.T) {
 // TestFlightGroupErrorNotCached checks a plain error (no panic) is
 // handed to waiters and the key is immediately retryable.
 func TestFlightGroupErrorNotCached(t *testing.T) {
-	g := newFlightGroup()
+	g := newFlightGroup[[]float64]()
 	sentinel := errors.New("boom")
 	if _, err, _ := g.do("k", func() ([]float64, error) { return nil, sentinel }); !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v, want sentinel", err)

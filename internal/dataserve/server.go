@@ -18,10 +18,9 @@ import (
 )
 
 // defaultServingElems is the serving-chunk volume target for origins
-// stored contiguously: 4096 float64 values ≈ 32 KiB per frame, big
-// enough to amortize a round trip and small enough to keep the client
-// cache granular.
-const defaultServingElems = 4096
+// stored contiguously, shared with the debloat-time Merkle builder so
+// both derive the same chunk grid.
+const defaultServingElems = sdf.DefaultServingElems
 
 // DatasetMeta is the /meta response body: the geometry a client needs
 // to turn element indices into serving-chunk coordinates.
@@ -40,12 +39,31 @@ type DatasetMeta struct {
 
 // serving bundles one dataset's handle with its serving-chunk
 // geometry, precomputed at open time so request handling allocates no
-// shared state.
+// shared state. The Merkle tree backing proof-carrying responses is
+// built lazily on the first proof=1 request (a full-dataset read, paid
+// once) and memoized; tamper after the build is still caught because
+// the served bytes then disagree with the memoized leaves.
 type serving struct {
 	ds    *sdf.Dataset
 	meta  DatasetMeta
 	space array.Space
 	grid  *array.ChunkedLayout
+
+	treeOnce sync.Once
+	tree     *sdf.MerkleTree
+	treeErr  error
+}
+
+// merkle returns the dataset's memoized serving-chunk Merkle tree,
+// building it on first use (built counts actual builds).
+func (sv *serving) merkle(built *atomic.Int64) (*sdf.MerkleTree, error) {
+	sv.treeOnce.Do(func() {
+		sv.tree, sv.treeErr = sdf.BuildDatasetMerkle(sv.ds, sv.meta.Chunk)
+		if sv.treeErr == nil {
+			built.Add(1)
+		}
+	})
+	return sv.tree, sv.treeErr
 }
 
 // Server serves chunk- and hyperslab-granular reads from an origin
@@ -70,6 +88,12 @@ type Server struct {
 	// traceRequests counts requests that arrived with a propagated
 	// trace context (whether or not local recording is on).
 	traceRequests atomic.Int64
+	// proofFrames counts proof-carrying (KDB2) chunk responses served;
+	// proofErrors counts proof=1 requests that failed to produce one;
+	// proofTrees counts Merkle trees built (at most one per dataset).
+	proofFrames atomic.Int64
+	proofErrors atomic.Int64
+	proofTrees  atomic.Int64
 }
 
 // serverTrace pairs the server's trace with its exported lane name.
@@ -108,6 +132,12 @@ func NewServerWithRecorder(originPath string, rec *metrics.ServeRecorder) (*Serv
 		}
 		return 0
 	})
+	reg.SetHelp("kondo_serve_proof_frames_total", "Proof-carrying (KDB2) chunk responses served.")
+	reg.CounterFunc("kondo_serve_proof_frames_total", s.proofFrames.Load)
+	reg.SetHelp("kondo_serve_proof_errors_total", "proof=1 chunk requests that failed to produce a proof frame.")
+	reg.CounterFunc("kondo_serve_proof_errors_total", s.proofErrors.Load)
+	reg.SetHelp("kondo_serve_proof_trees_total", "Serving-chunk Merkle trees built (at most one per dataset).")
+	reg.CounterFunc("kondo_serve_proof_trees_total", s.proofTrees.Load)
 	for _, name := range f.Names() {
 		ds, err := f.Dataset(name)
 		if err != nil {
@@ -118,7 +148,7 @@ func NewServerWithRecorder(originPath string, rec *metrics.ServeRecorder) (*Serv
 		chunk := ds.ChunkShape()
 		chunked := chunk != nil
 		if chunk == nil {
-			chunk = servingChunk(space.Dims(), defaultServingElems)
+			chunk = sdf.ServingChunkShape(space.Dims(), defaultServingElems)
 		}
 		grid, err := array.NewChunkedLayout(space, ds.DType(), chunk)
 		if err != nil {
@@ -140,33 +170,6 @@ func NewServerWithRecorder(originPath string, rec *metrics.ServeRecorder) (*Serv
 		}
 	}
 	return s, nil
-}
-
-// servingChunk derives a serving chunk shape for a contiguous dataset
-// by repeatedly halving the largest extent until the chunk volume
-// drops to target elements. The derivation is deterministic, so every
-// client sees the same chunk grid.
-func servingChunk(dims []int, target int64) []int {
-	chunk := append([]int(nil), dims...)
-	vol := int64(1)
-	for _, d := range chunk {
-		vol *= int64(d)
-	}
-	for vol > target {
-		k := 0
-		for i, c := range chunk {
-			if c > chunk[k] {
-				k = i
-			}
-		}
-		if chunk[k] <= 1 {
-			break
-		}
-		vol /= int64(chunk[k])
-		chunk[k] = (chunk[k] + 1) / 2
-		vol *= int64(chunk[k])
-	}
-	return chunk
 }
 
 // Close releases the origin file. In-flight requests finish first.
@@ -458,7 +461,57 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	// Echo the request identity as additive headers so even KDB1
+	// clients can detect a swapped response (a frame for chunk A
+	// answering a request for chunk B); old clients ignore them.
+	w.Header().Set(headerDataset, dataset)
+	w.Header().Set(headerChunk, joinInts(cc))
+	if r.URL.Query().Get("proof") == "1" {
+		s.writeProofFrame(w, sv, dataset, cc, vals)
+		return
+	}
 	writeFrame(w, vals)
+}
+
+// writeProofFrame answers a proof=1 chunk request with a KDB2 frame:
+// identity, leaf position, values, and the inclusion proof against the
+// dataset's Merkle tree (built lazily on first use).
+func (s *Server) writeProofFrame(w http.ResponseWriter, sv *serving, dataset string, cc []int, vals []float64) {
+	tree, err := sv.merkle(&s.proofTrees)
+	if err != nil {
+		s.proofErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("dataserve: building merkle tree of %q: %w", dataset, err))
+		return
+	}
+	leaf, err := sv.grid.ChunkLinear(array.Index(cc))
+	if err != nil {
+		s.proofErrors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	proof, err := tree.Proof(leaf)
+	if err != nil {
+		s.proofErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	buf, err := encodeProofFrame(proofFrame{
+		Dataset: dataset,
+		Chunk:   cc,
+		Leaf:    leaf,
+		Leaves:  tree.Leaves(),
+		Vals:    vals,
+		Proof:   proof,
+	})
+	if err != nil {
+		s.proofErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.proofFrames.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	_, _ = w.Write(buf)
 }
 
 // slabRequest is the POST /slab body: one dense block.
@@ -510,19 +563,30 @@ func writeFrame(w http.ResponseWriter, vals []float64) {
 }
 
 // chunkSlab returns the start/count of serving chunk cc clipped to the
-// dataset space (edge chunks shrink instead of padding, so the frame
-// carries logical elements only).
+// dataset space. The computation lives in internal/sdf (ChunkSlab) so
+// the server, the debloat-time Merkle builder, and the client share
+// one edge-clipping rule.
 func chunkSlab(space array.Space, chunk []int, cc []int) (start, count []int) {
-	start = make([]int, len(cc))
-	count = make([]int, len(cc))
-	for k := range cc {
-		start[k] = cc[k] * chunk[k]
-		count[k] = chunk[k]
-		if start[k]+count[k] > space.Dim(k) {
-			count[k] = space.Dim(k) - start[k]
-		}
+	return sdf.ChunkSlab(space, chunk, cc)
+}
+
+// Identity echo headers: the server repeats the dataset and chunk
+// coordinate a chunk response answers, so clients can reject swapped
+// responses even on the proof-less KDB1 path. Additive — old peers on
+// either side ignore them.
+const (
+	headerDataset = "Kondo-Dataset"
+	headerChunk   = "Kondo-Chunk"
+)
+
+// joinInts renders coordinates in the wire's comma form (the inverse
+// of parseInts).
+func joinInts(cc []int) string {
+	parts := make([]string, len(cc))
+	for i, v := range cc {
+		parts[i] = strconv.Itoa(v)
 	}
-	return start, count
+	return strings.Join(parts, ",")
 }
 
 func parseInts(s string) ([]int, error) {

@@ -170,16 +170,16 @@ func TestServingChunkDerivation(t *testing.T) {
 		{[]int{1024, 1, 1024}, 4096},
 	}
 	for _, c := range cases {
-		chunk := servingChunk(c.dims, c.target)
+		chunk := sdf.ServingChunkShape(c.dims, c.target)
 		vol := int64(1)
 		for k, e := range chunk {
 			if e < 1 || e > c.dims[k] {
-				t.Errorf("servingChunk(%v) = %v: extent %d out of range", c.dims, chunk, e)
+				t.Errorf("ServingChunkShape(%v) = %v: extent %d out of range", c.dims, chunk, e)
 			}
 			vol *= int64(e)
 		}
 		if vol > c.target {
-			t.Errorf("servingChunk(%v, %d) = %v: volume %d over target", c.dims, c.target, chunk, vol)
+			t.Errorf("ServingChunkShape(%v, %d) = %v: volume %d over target", c.dims, c.target, chunk, vol)
 		}
 	}
 }

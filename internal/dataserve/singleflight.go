@@ -8,22 +8,24 @@ import (
 // flightGroup deduplicates concurrent fetches of the same key: the
 // first caller performs the work, later callers block until it
 // finishes and share the result. Results are not cached here — the
-// chunkCache does that — so a failed flight is retried by the next
-// caller.
-type flightGroup struct {
+// chunkCache (or the geometry map) does that — so a failed flight is
+// retried by the next caller. It is generic over the result type
+// because both chunk fetches ([]float64) and geometry resolution
+// (*dsGeom) collapse through it.
+type flightGroup[T any] struct {
 	mu     sync.Mutex
-	flight map[string]*flightCall
+	flight map[string]*flightCall[T]
 }
 
-type flightCall struct {
+type flightCall[T any] struct {
 	done chan struct{}
-	vals []float64
+	val  T
 	err  error
 	dups int
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{flight: make(map[string]*flightCall)}
+func newFlightGroup[T any]() *flightGroup[T] {
+	return &flightGroup[T]{flight: make(map[string]*flightCall[T])}
 }
 
 // do runs fn under key, collapsing concurrent duplicates onto the
@@ -32,15 +34,15 @@ func newFlightGroup() *flightGroup {
 // in-flight call runs under the initiating caller's context; a waiter
 // whose initiator is canceled receives the initiator's error and may
 // simply retry.
-func (g *flightGroup) do(key string, fn func() ([]float64, error)) (vals []float64, err error, dup bool) {
+func (g *flightGroup[T]) do(key string, fn func() (T, error)) (val T, err error, dup bool) {
 	g.mu.Lock()
 	if c, ok := g.flight[key]; ok {
 		c.dups++
 		g.mu.Unlock()
 		<-c.done
-		return c.vals, c.err, true
+		return c.val, c.err, true
 	}
-	c := &flightCall{done: make(chan struct{})}
+	c := &flightCall[T]{done: make(chan struct{})}
 	g.flight[key] = c
 	g.mu.Unlock()
 
@@ -52,14 +54,15 @@ func (g *flightGroup) do(key string, fn func() ([]float64, error)) (vals []float
 	completed := false
 	defer func() {
 		if !completed {
-			c.vals, c.err = nil, fmt.Errorf("dataserve: in-flight fetch of key %q panicked", key)
+			var zero T
+			c.val, c.err = zero, fmt.Errorf("dataserve: in-flight fetch of key %q panicked", key)
 		}
 		g.mu.Lock()
 		delete(g.flight, key)
 		g.mu.Unlock()
 		close(c.done)
 	}()
-	c.vals, c.err = fn()
+	c.val, c.err = fn()
 	completed = true
-	return c.vals, c.err, false
+	return c.val, c.err, false
 }

@@ -24,9 +24,11 @@ package dataserve
 
 import (
 	"encoding/binary"
+	"fmt"
 	"io"
 	"math"
 
+	"repro/internal/sdf"
 	"repro/internal/wire"
 )
 
@@ -64,4 +66,151 @@ func decodeFrame(r io.Reader, wantVals int64) ([]float64, error) {
 		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
 	}
 	return vals, nil
+}
+
+// proofCodec is the proof-carrying chunk framing (KDB2), additive next
+// to KDB1: only clients that ask with proof=1 receive it, so KDB1
+// peers never see the magic. The count field counts payload bytes
+// (UnitSize 1) because the payload is a structured record, not a flat
+// value array; 1<<29 bytes (512 MiB) bounds hostile counts.
+var proofCodec = wire.Codec{Magic: "KDB2", UnitSize: 1, MaxCount: 1 << 29}
+
+// proofFrameVersion versions the KDB2 payload layout.
+const proofFrameVersion = 1
+
+// proofFrame is one verified chunk response: the request identity
+// (dataset + chunk coordinate), the chunk's position in the Merkle
+// tree, its clipped values, and the inclusion proof connecting them to
+// the manifest root. Everything sits inside the CRC-verified payload,
+// so the identity binding the KDB1 satellite fix bolts on via headers
+// is structural here.
+type proofFrame struct {
+	Dataset string
+	Chunk   []int
+	Leaf    int64 // row-major chunk-grid index = Merkle leaf index
+	Leaves  int64 // total leaf count of the server's tree
+	Vals    []float64
+	Proof   [][sdf.HashSize]byte
+}
+
+// encodeProofFrame renders a proof frame:
+//
+//	version u8 | nameLen u16 | name | rank u8 | rank×coord i32 |
+//	leaf u64 | leaves u64 | valCount u32 | valCount×float64 bits |
+//	proofLen u16 | proofLen×32-byte sibling
+//
+// all little-endian, all inside the CRC32-covered payload.
+func encodeProofFrame(pf proofFrame) ([]byte, error) {
+	if len(pf.Dataset) > 0xffff {
+		return nil, fmt.Errorf("dataserve: dataset name too long for proof frame (%d bytes)", len(pf.Dataset))
+	}
+	if len(pf.Chunk) > 0xff {
+		return nil, fmt.Errorf("dataserve: rank %d too large for proof frame", len(pf.Chunk))
+	}
+	if len(pf.Proof) > 0xffff {
+		return nil, fmt.Errorf("dataserve: proof too long (%d siblings)", len(pf.Proof))
+	}
+	size := 1 + 2 + len(pf.Dataset) + 1 + 4*len(pf.Chunk) + 8 + 8 + 4 + 8*len(pf.Vals) + 2 + sdf.HashSize*len(pf.Proof)
+	payload := make([]byte, 0, size)
+	payload = append(payload, proofFrameVersion)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(pf.Dataset)))
+	payload = append(payload, pf.Dataset...)
+	payload = append(payload, byte(len(pf.Chunk)))
+	for _, c := range pf.Chunk {
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(int32(c)))
+	}
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(pf.Leaf))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(pf.Leaves))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(pf.Vals)))
+	for _, v := range pf.Vals {
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(v))
+	}
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(pf.Proof)))
+	for _, sib := range pf.Proof {
+		payload = append(payload, sib[:]...)
+	}
+	return proofCodec.Encode(payload), nil
+}
+
+// decodeProofFrame reads one KDB2 frame. It fails on short reads, bad
+// magic (including a KDB1 frame where a proof was required), checksum
+// mismatches, unknown versions, and any structural truncation.
+func decodeProofFrame(r io.Reader) (proofFrame, error) {
+	var pf proofFrame
+	payload, err := proofCodec.DecodeAll(r, -1)
+	if err != nil {
+		return pf, err
+	}
+	cur := payload
+	take := func(n int) ([]byte, error) {
+		if len(cur) < n {
+			return nil, fmt.Errorf("dataserve: truncated proof frame (need %d bytes, have %d)", n, len(cur))
+		}
+		b := cur[:n]
+		cur = cur[n:]
+		return b, nil
+	}
+	b, err := take(1)
+	if err != nil {
+		return pf, err
+	}
+	if b[0] != proofFrameVersion {
+		return pf, fmt.Errorf("dataserve: proof frame version %d unsupported (want %d)", b[0], proofFrameVersion)
+	}
+	if b, err = take(2); err != nil {
+		return pf, err
+	}
+	nameLen := int(binary.LittleEndian.Uint16(b))
+	if b, err = take(nameLen); err != nil {
+		return pf, err
+	}
+	pf.Dataset = string(b)
+	if b, err = take(1); err != nil {
+		return pf, err
+	}
+	rank := int(b[0])
+	pf.Chunk = make([]int, rank)
+	for k := range pf.Chunk {
+		if b, err = take(4); err != nil {
+			return pf, err
+		}
+		pf.Chunk[k] = int(int32(binary.LittleEndian.Uint32(b)))
+	}
+	if b, err = take(8); err != nil {
+		return pf, err
+	}
+	pf.Leaf = int64(binary.LittleEndian.Uint64(b))
+	if b, err = take(8); err != nil {
+		return pf, err
+	}
+	pf.Leaves = int64(binary.LittleEndian.Uint64(b))
+	if b, err = take(4); err != nil {
+		return pf, err
+	}
+	valCount := int64(binary.LittleEndian.Uint32(b))
+	if valCount > frameCodec.MaxCount {
+		return pf, fmt.Errorf("dataserve: proof frame claims %d values (limit %d)", valCount, frameCodec.MaxCount)
+	}
+	if b, err = take(int(8 * valCount)); err != nil {
+		return pf, err
+	}
+	pf.Vals = make([]float64, valCount)
+	for i := range pf.Vals {
+		pf.Vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	if b, err = take(2); err != nil {
+		return pf, err
+	}
+	proofLen := int(binary.LittleEndian.Uint16(b))
+	pf.Proof = make([][sdf.HashSize]byte, proofLen)
+	for i := range pf.Proof {
+		if b, err = take(sdf.HashSize); err != nil {
+			return pf, err
+		}
+		copy(pf.Proof[i][:], b)
+	}
+	if len(cur) != 0 {
+		return pf, fmt.Errorf("dataserve: proof frame has %d trailing bytes", len(cur))
+	}
+	return pf, nil
 }

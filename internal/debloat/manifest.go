@@ -8,6 +8,7 @@ import (
 	"repro/internal/array"
 	"repro/internal/geom"
 	"repro/internal/hull"
+	"repro/internal/sdf"
 )
 
 // Manifest records how a debloated data file was produced: the carved
@@ -39,6 +40,87 @@ type Manifest struct {
 	// OriginalBytes and DebloatedBytes mirror Stats.
 	OriginalBytes  int64 `json:"original_bytes"`
 	DebloatedBytes int64 `json:"debloated_bytes"`
+	// Merkle, when present, anchors verified recovery: the root of a
+	// SHA-256 Merkle tree over the ORIGINAL dataset's serving chunks,
+	// plus the tree parameters a client needs to verify inclusion
+	// proofs (DESIGN.md §15). The section is additive — old readers
+	// skip the unknown key, and manifests written before it decode
+	// with a nil pointer — so manifest compatibility is unchanged in
+	// both directions.
+	Merkle *MerkleSection `json:"merkle,omitempty"`
+}
+
+// MerkleSection is the manifest encoding of an sdf.MerkleSpec.
+type MerkleSection struct {
+	// Algo names the tree construction (sdf.MerkleAlgo).
+	Algo string `json:"algo"`
+	// Root is the tree root in lowercase hex.
+	Root string `json:"root"`
+	// Leaves is the serving-chunk (leaf) count.
+	Leaves int64 `json:"leaves"`
+	// Chunk is the serving chunk shape the tree was built over; with
+	// the manifest's Dims it pins the full verification geometry.
+	Chunk []int `json:"chunk"`
+}
+
+// EmbedMerkle builds the Merkle tree over the manifest's dataset in
+// the ORIGINAL (pre-debloat) data file at dataPath — the bytes an
+// origin server will later serve — and records its root and
+// parameters in the manifest. Call it at debloat time, before the
+// original is replaced by the carved file.
+func (m *Manifest) EmbedMerkle(dataPath string) error {
+	f, err := sdf.Open(dataPath)
+	if err != nil {
+		return fmt.Errorf("debloat: opening original for merkle: %w", err)
+	}
+	defer f.Close()
+	ds, err := f.Dataset(m.Dataset)
+	if err != nil {
+		return fmt.Errorf("debloat: merkle dataset: %w", err)
+	}
+	chunk := sdf.ServingChunk(ds)
+	tree, err := sdf.BuildDatasetMerkle(ds, chunk)
+	if err != nil {
+		return fmt.Errorf("debloat: building merkle tree: %w", err)
+	}
+	spec := tree.SpecOf(ds)
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("debloat: built merkle spec invalid: %w", err)
+	}
+	m.Merkle = &MerkleSection{
+		Algo:   spec.Algo,
+		Root:   spec.RootHex(),
+		Leaves: spec.Leaves,
+		Chunk:  append([]int(nil), spec.Chunk...),
+	}
+	return nil
+}
+
+// MerkleSpec decodes and validates the manifest's merkle section into
+// the client's trusted verification spec. It returns (nil, nil) when
+// the manifest has no section (pre-verification manifests stay
+// loadable), and an error when the section is present but malformed or
+// inconsistent with the manifest's own geometry — a tampered manifest
+// must fail at load, not at first verified fetch.
+func (m *Manifest) MerkleSpec() (*sdf.MerkleSpec, error) {
+	if m.Merkle == nil {
+		return nil, nil
+	}
+	root, err := sdf.ParseMerkleRoot(m.Merkle.Root)
+	if err != nil {
+		return nil, fmt.Errorf("debloat: manifest merkle section: %w", err)
+	}
+	spec := &sdf.MerkleSpec{
+		Algo:   m.Merkle.Algo,
+		Root:   root,
+		Leaves: m.Merkle.Leaves,
+		Dims:   append([]int(nil), m.Dims...),
+		Chunk:  append([]int(nil), m.Merkle.Chunk...),
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("debloat: manifest merkle section: %w", err)
+	}
+	return spec, nil
 }
 
 // NewManifest assembles a manifest from pipeline outputs.

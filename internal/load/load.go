@@ -18,6 +18,7 @@ import (
 	"repro/internal/array"
 	"repro/internal/dataserve"
 	"repro/internal/obs"
+	"repro/internal/sdf"
 )
 
 // Mode selects how offered load is generated.
@@ -100,6 +101,19 @@ type Config struct {
 	// Fetcher overrides the client configuration (zero value = fetcher
 	// defaults: 64 MiB cache, 4 attempts).
 	Fetcher dataserve.FetcherConfig
+
+	// Verify, when set, arms Merkle verification on the client: every
+	// chunk miss is fetched with an inclusion proof and checked against
+	// this manifest-derived spec before entering the cache. A
+	// verification failure is terminal per chunk (counted in
+	// Result.Fetch.VerifyFailed) — the load keeps running so the blast
+	// radius is measured, not hidden behind the first error.
+	Verify *sdf.MerkleSpec
+
+	// OnFetcher, when set, observes the run's fetcher right after
+	// construction — the hook a daemon uses to expose live verify
+	// counters on its own /statusz.
+	OnFetcher func(*dataserve.Fetcher)
 
 	// SoakInterval, when positive, polls BaseURL/sloz every interval
 	// during the run and records a violation whenever any objective's

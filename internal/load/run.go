@@ -130,6 +130,17 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		inst:    newInstruments(cfg.Registry),
 		samples: &sampler{},
 	}
+	if cfg.Verify != nil {
+		if err := r.fetcher.SetVerify(cfg.Dataset, *cfg.Verify); err != nil {
+			return nil, fmt.Errorf("load: arming verification: %w", err)
+		}
+	}
+	if cfg.Registry != nil {
+		r.fetcher.Register(cfg.Registry)
+	}
+	if cfg.OnFetcher != nil {
+		cfg.OnFetcher(r.fetcher)
+	}
 	// Warmup: same mix, separate rng stream, nothing recorded.
 	if cfg.Warmup > 0 {
 		if err := r.warm(ctx); err != nil {
@@ -186,6 +197,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		FlightShared: stats.FlightShared - statsBase.FlightShared,
 		CacheEntries: stats.CacheEntries,
 		CacheBytes:   stats.CacheBytes,
+		VerifyOK:     stats.VerifyOK - statsBase.VerifyOK,
+		VerifyFailed: stats.VerifyFailed - statsBase.VerifyFailed,
 	}
 	res := &Result{
 		Mode:           string(cfg.Mode),

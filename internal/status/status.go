@@ -34,6 +34,9 @@ type Snapshot struct {
 	Done bool `json:"done"`
 	// Coverage is the series recorded so far (points in round order).
 	Coverage *fuzz.CoverageSeries `json:"coverage"`
+	// Verify is the live chunk-verification state (host-supplied via
+	// SetVerifySource); omitted when no verifying client runs here.
+	Verify any `json:"verify,omitempty"`
 }
 
 // Server accumulates coverage points and serves them. Publish is safe
@@ -60,6 +63,10 @@ type Server struct {
 	// SLO view (see slo.go); nil unless the process runs an SLO engine
 	// and called SetSLOSource.
 	sloSource func() any
+
+	// Verify view (see verify.go); nil unless the process runs a
+	// verifying recovery client and called SetVerifySource.
+	verifySource func() any
 }
 
 // subBuffer is the per-subscriber point buffer; a subscriber that
@@ -170,7 +177,12 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			Points:    append([]fuzz.CoveragePoint(nil), s.series.Points...),
 		},
 	}
+	verifySrc := s.verifySource
 	s.mu.Unlock()
+	if verifySrc != nil {
+		// Read outside the lock: the source snapshots atomics.
+		snap.Verify = verifySrc()
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -1,0 +1,61 @@
+package status
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestStatuszOmitsVerifyWithoutSource(t *testing.T) {
+	s := newTestServer()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["verify"]; ok {
+		t.Fatal("verify key present without a source")
+	}
+}
+
+func TestStatuszEmbedsLiveVerifyState(t *testing.T) {
+	s := newTestServer()
+	failed := int64(0)
+	s.SetVerifySource(func() any {
+		return map[string]any{"enabled": true, "verify_ok": 3, "verify_failed": failed}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	read := func() map[string]any {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/statusz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var snap struct {
+			Verify map[string]any `json:"verify"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return snap.Verify
+	}
+	if v := read(); v["enabled"] != true || v["verify_failed"] != float64(0) {
+		t.Fatalf("verify view = %v", v)
+	}
+	// The source is read live: a rejection shows up on the next scrape.
+	failed = 1
+	if v := read(); v["verify_failed"] != float64(1) {
+		t.Fatalf("verify view after failure = %v", v)
+	}
+}

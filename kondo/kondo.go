@@ -196,6 +196,19 @@ func NewManifest(program, dataset string, dims []int, granularity string, chunk 
 // LoadManifest reads a manifest written by Manifest.Save.
 func LoadManifest(path string) (*Manifest, error) { return debloat.LoadManifest(path) }
 
+// MerkleSpec is a client's trusted description of one dataset's
+// serving-chunk Merkle tree: root, leaf count, and pinned geometry.
+// Obtain one from a manifest's MerkleSpec method and arm a
+// CachedFetcher with SetVerify to reject substituted or tampered
+// chunks before they enter the cache.
+type MerkleSpec = sdf.MerkleSpec
+
+// ErrVerifyFailed marks a recovered chunk that failed Merkle
+// verification (or identity echo) against the manifest root. It is
+// terminal: the origin is lying, not flaky, so the fetcher never
+// retries it and never degrades it to ErrDataMissing.
+var ErrVerifyFailed = dataserve.ErrVerifyFailed
+
 // Fetcher recovers carved-away element values at the user's end
 // (paper §VI's remote-fetch path).
 type Fetcher = debloat.Fetcher
